@@ -1,0 +1,270 @@
+//! Numerical evaluation of the Theorem-1 convergence bound.
+//!
+//! Theorem 1:  after `T` asynchronous over-the-air aggregations,
+//!
+//! ```text
+//! E[F(w_T)] − F(w*) ≤ ρ^T (F(w_0) − F(w*)) + δ
+//! ρ = [1 − (2µγ − µ/L) Σ_j ψ_j β_j]^{1/(1+τ_max)}
+//! δ = Σ_j ψ_j β_j (γ L Λ_j² G² + L² max_t C_t) / ((2µγL − µ) Σ_j ψ_j β_j)
+//! C_t = (σ_t/√η_t − 1)² W_t² + σ₀²/(D_{j_t}² η_t)
+//! ```
+//!
+//! This module evaluates ρ, δ and the resulting bound, provides the
+//! Lemma-1 recursion used in the proof, and exposes the two corollaries as
+//! checkable predicates (the unit and property tests verify both).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-group quantities entering the bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupTerm {
+    /// Relative participation frequency `ψ_j` (must sum to 1 over groups).
+    pub psi: f64,
+    /// Data fraction `β_j = D_j / D`.
+    pub beta: f64,
+    /// Earth-mover distance `Λ_j` of the group to the global distribution.
+    pub emd: f64,
+}
+
+/// Problem-level constants of the bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundInputs {
+    /// Strong-convexity constant `µ`.
+    pub mu: f64,
+    /// Smoothness constant `L`.
+    pub smoothness: f64,
+    /// Learning rate `γ` (Theorem 1 requires `1/(2L) < γ < 1/L`).
+    pub gamma: f64,
+    /// Gradient bound `G²`.
+    pub gradient_bound_sq: f64,
+    /// Worst-case aggregation error `max_t C_t` (Eq. 30).
+    pub aggregation_error: f64,
+    /// Maximum staleness `τ_max`.
+    pub max_staleness: usize,
+    /// Initial optimality gap `F(w_0) − F(w*)`.
+    pub initial_gap: f64,
+}
+
+impl BoundInputs {
+    /// Check Theorem 1's preconditions.
+    pub fn validate(&self) {
+        assert!(self.mu > 0.0, "mu must be positive");
+        assert!(self.smoothness > 0.0, "L must be positive");
+        assert!(
+            self.gamma > 0.5 / self.smoothness && self.gamma < 1.0 / self.smoothness,
+            "Theorem 1 requires 1/(2L) < gamma < 1/L"
+        );
+        assert!(self.gradient_bound_sq >= 0.0, "G^2 must be non-negative");
+        assert!(
+            self.aggregation_error >= 0.0,
+            "aggregation error must be non-negative"
+        );
+        assert!(self.initial_gap >= 0.0, "initial gap must be non-negative");
+    }
+}
+
+/// The evaluated bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceBound {
+    /// Per-round contraction factor `ρ ∈ (0, 1)`.
+    pub rho: f64,
+    /// Residual error `δ ≥ 0`.
+    pub delta: f64,
+}
+
+impl ConvergenceBound {
+    /// The bound value `ρ^T · (F(w_0) − F(w*)) + δ` after `T` rounds.
+    pub fn after(&self, rounds: usize, initial_gap: f64) -> f64 {
+        self.rho.powi(rounds as i32) * initial_gap + self.delta
+    }
+
+    /// The smallest `T` for which the bound drops below `epsilon`, or `None`
+    /// if `epsilon ≤ δ` (the residual floor can never be beaten).
+    pub fn rounds_to_reach(&self, epsilon: f64, initial_gap: f64) -> Option<usize> {
+        if epsilon <= self.delta {
+            return None;
+        }
+        if initial_gap <= epsilon - self.delta {
+            return Some(0);
+        }
+        // rho^T * gap <= eps - delta  =>  T >= ln((eps-delta)/gap) / ln(rho).
+        let t = ((epsilon - self.delta) / initial_gap).ln() / self.rho.ln();
+        Some(t.ceil() as usize)
+    }
+}
+
+/// Evaluate ρ and δ of Theorem 1 for a set of groups.
+///
+/// Panics if the inputs violate the theorem's preconditions or the `ψ_j` do
+/// not form a probability distribution.
+pub fn theorem1_bound(inputs: &BoundInputs, groups: &[GroupTerm]) -> ConvergenceBound {
+    inputs.validate();
+    assert!(!groups.is_empty(), "need at least one group");
+    let psi_sum: f64 = groups.iter().map(|g| g.psi).sum();
+    assert!(
+        (psi_sum - 1.0).abs() < 1e-6,
+        "participation frequencies must sum to 1 (got {psi_sum})"
+    );
+    for g in groups {
+        assert!(g.psi >= 0.0 && g.beta >= 0.0, "psi/beta must be non-negative");
+        assert!(
+            (0.0..=2.0 + 1e-9).contains(&g.emd),
+            "EMD must lie in [0, 2], got {}",
+            g.emd
+        );
+    }
+    let psi_beta: f64 = groups.iter().map(|g| g.psi * g.beta).sum();
+    assert!(psi_beta > 0.0, "sum of psi_j * beta_j must be positive");
+
+    let c = inputs;
+    let base = 1.0 - (2.0 * c.mu * c.gamma - c.mu / c.smoothness) * psi_beta;
+    assert!(
+        base > 0.0 && base < 1.0,
+        "contraction base must lie in (0,1); check mu*gamma*sum(psi beta)"
+    );
+    let rho = base.powf(1.0 / (1.0 + c.max_staleness as f64));
+
+    let numerator: f64 = groups
+        .iter()
+        .map(|g| {
+            g.psi
+                * g.beta
+                * (c.gamma * c.smoothness * g.emd * g.emd * c.gradient_bound_sq
+                    + c.smoothness * c.smoothness * c.aggregation_error)
+        })
+        .sum();
+    let delta = numerator / ((2.0 * c.mu * c.gamma * c.smoothness - c.mu) * psi_beta);
+    ConvergenceBound { rho, delta }
+}
+
+/// The Lemma-1 recursion: given `Q(t) ≤ x·Q(t−1) + y·Q(l_t) + z` with
+/// `x + y < 1` and `l_t ≥ t − τ_max − 1`, the lemma asserts
+/// `Q(t) ≤ ρ^t Q(0) + δ` with `ρ = (x+y)^{1/(1+τ_max)}` and `δ = z/(1−x−y)`.
+/// This helper iterates the recursion numerically (worst case `l_t = t−τ−1`)
+/// so tests can confirm the closed form dominates it.
+pub fn lemma1_recursion(x: f64, y: f64, z: f64, q0: f64, tau_max: usize, rounds: usize) -> Vec<f64> {
+    assert!(x >= 0.0 && y >= 0.0 && z >= 0.0 && q0 >= 0.0, "nonnegative inputs");
+    assert!(x + y < 1.0, "Lemma 1 requires x + y < 1");
+    let mut q = vec![q0];
+    for t in 1..=rounds {
+        let prev = q[t - 1];
+        let lt = t.saturating_sub(tau_max + 1);
+        let stale = q[lt];
+        q.push(x * prev + y * stale + z);
+    }
+    q
+}
+
+/// Closed-form Lemma-1 envelope `ρ^t Q(0) + δ`.
+pub fn lemma1_envelope(x: f64, y: f64, z: f64, q0: f64, tau_max: usize, t: usize) -> f64 {
+    let rho = (x + y).powf(1.0 / (1.0 + tau_max as f64));
+    let delta = z / (1.0 - x - y);
+    rho.powi(t as i32) * q0 + delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(tau: usize) -> BoundInputs {
+        BoundInputs {
+            mu: 0.2,
+            smoothness: 1.0,
+            gamma: 0.75,
+            gradient_bound_sq: 0.05,
+            aggregation_error: 0.01,
+            max_staleness: tau,
+            initial_gap: 2.3,
+        }
+    }
+
+    fn uniform_groups(m: usize, emd: f64) -> Vec<GroupTerm> {
+        (0..m)
+            .map(|_| GroupTerm {
+                psi: 1.0 / m as f64,
+                beta: 1.0 / m as f64,
+                emd,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rho_lies_in_unit_interval_and_bound_decreases() {
+        let b = theorem1_bound(&inputs(3), &uniform_groups(5, 0.5));
+        assert!(b.rho > 0.0 && b.rho < 1.0);
+        assert!(b.delta >= 0.0);
+        let after_10 = b.after(10, 2.3);
+        let after_100 = b.after(100, 2.3);
+        assert!(after_100 < after_10);
+        assert!(after_100 >= b.delta);
+    }
+
+    #[test]
+    fn corollary1_more_noniid_means_larger_residual() {
+        let iid = theorem1_bound(&inputs(2), &uniform_groups(5, 0.0));
+        let skewed = theorem1_bound(&inputs(2), &uniform_groups(5, 1.8));
+        assert!(skewed.delta > iid.delta);
+        // With IID groups and no aggregation error the residual vanishes.
+        let mut clean = inputs(2);
+        clean.aggregation_error = 0.0;
+        let zero = theorem1_bound(&clean, &uniform_groups(5, 0.0));
+        assert!(zero.delta.abs() < 1e-15);
+    }
+
+    #[test]
+    fn corollary2_smaller_staleness_means_smaller_rho() {
+        let groups = uniform_groups(4, 0.5);
+        let fast = theorem1_bound(&inputs(0), &groups);
+        let slow = theorem1_bound(&inputs(5), &groups);
+        assert!(fast.rho < slow.rho, "{} !< {}", fast.rho, slow.rho);
+    }
+
+    #[test]
+    fn rounds_to_reach_is_consistent_with_after() {
+        let b = theorem1_bound(&inputs(2), &uniform_groups(3, 0.4));
+        let eps = b.delta + 0.05;
+        let t = b.rounds_to_reach(eps, 2.3).expect("reachable");
+        assert!(b.after(t, 2.3) <= eps + 1e-12);
+        if t > 0 {
+            assert!(b.after(t - 1, 2.3) > eps);
+        }
+        // A target below the residual floor is unreachable.
+        assert!(b.rounds_to_reach(b.delta * 0.5, 2.3).is_none());
+    }
+
+    #[test]
+    fn lemma1_envelope_dominates_recursion() {
+        let (x, y, z, q0, tau) = (0.55, 0.35, 0.02, 3.0, 4);
+        let seq = lemma1_recursion(x, y, z, q0, tau, 200);
+        for (t, q) in seq.iter().enumerate() {
+            let env = lemma1_envelope(x, y, z, q0, tau, t);
+            assert!(
+                *q <= env + 1e-9,
+                "recursion {q} exceeds envelope {env} at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_group_full_participation_gives_fastest_contraction() {
+        // M=1, psi=beta=1, tau=0: rho = 1 - (2 mu gamma - mu/L).
+        let b = theorem1_bound(
+            &inputs(0),
+            &[GroupTerm {
+                psi: 1.0,
+                beta: 1.0,
+                emd: 0.0,
+            }],
+        );
+        let expected = 1.0 - (2.0 * 0.2 * 0.75 - 0.2);
+        assert!((b.rho - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_invalid_participation_frequencies() {
+        let mut groups = uniform_groups(3, 0.1);
+        groups[0].psi = 0.9;
+        let _ = theorem1_bound(&inputs(1), &groups);
+    }
+}

@@ -1,0 +1,484 @@
+//! Algorithm 1 — grouping asynchronous federated learning via AirComp.
+//!
+//! The heart of the crate is [`run_group_async`], a virtual-time simulation
+//! engine for *group-asynchronous* federated learning: groups of workers
+//! train locally, a group aggregates as soon as all of its members are ready
+//! (the intra-group alignment of Algorithm 1, lines 17–29), the global model
+//! is updated with that group's contribution only (Eq. (10)), and the group
+//! immediately receives the new model and starts its next local round. The
+//! engine is parameterised by the aggregation back-end:
+//!
+//! * [`AggregationMode::AirComp`] — analog over-the-air aggregation over the
+//!   noisy fading MAC, with per-round power control (Algorithm 2). Used by
+//!   Air-FedGA itself and by the Air-FedAvg baseline (single group).
+//! * [`AggregationMode::OmaIdeal`] — digital orthogonal uploads: aggregation
+//!   is exact but the upload latency grows linearly with the group size.
+//!   Used by the FedAvg and TiFL baselines.
+//!
+//! [`AirFedGa`] wires the engine to the worker-grouping Algorithm 3 and the
+//! paper's default hyper-parameters.
+
+use crate::staleness::StalenessTracker;
+use crate::system::{FlMechanism, FlSystem};
+use fedml::optimizer::local_update_from;
+use fedml::params::FlatParams;
+use fedml::rng::Rng64;
+use grouping::greedy::{greedy_grouping, GreedyGroupingConfig};
+use grouping::objective::{GroupingObjective, ObjectiveConstants};
+use grouping::worker_info::Grouping;
+use simcore::events::EventQueue;
+use simcore::trace::{TracePoint, TrainingTrace};
+use wireless::aircomp::{air_aggregate, apply_group_update, AirAggregationInput};
+use wireless::energy::EnergyLedger;
+use wireless::power::{optimize_power, PowerControlConfig};
+use wireless::timing::OmaScheme;
+
+/// How a group's local models are combined into the group estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggregationMode {
+    /// Analog over-the-air aggregation (Eq. (9)/(10)).
+    AirComp {
+        /// Run Algorithm 2 each round; if false, `σ_t = η_t = 1`.
+        power_control: bool,
+        /// Add the AWGN of Eq. (9); if false the channel is noiseless.
+        noise: bool,
+    },
+    /// Ideal digital aggregation over orthogonal channels: exact weighted
+    /// average, upload latency linear in the group size.
+    OmaIdeal {
+        /// Which OMA flavour provides the latency model.
+        scheme: OmaScheme,
+    },
+}
+
+/// Engine options shared by Air-FedGA and the group-structured baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOptions {
+    /// Number of global aggregation rounds `T` to simulate.
+    pub total_rounds: usize,
+    /// Evaluate the global model on the test set every this many rounds.
+    pub eval_every: usize,
+    /// Stop early once the virtual clock passes this time (seconds).
+    pub max_virtual_time: Option<f64>,
+    /// Aggregation back-end.
+    pub aggregation: AggregationMode,
+}
+
+impl EngineOptions {
+    fn validate(&self) {
+        assert!(self.total_rounds > 0, "need at least one round");
+        assert!(self.eval_every > 0, "eval_every must be positive");
+        if let Some(t) = self.max_virtual_time {
+            assert!(t > 0.0, "max_virtual_time must be positive");
+        }
+    }
+}
+
+/// Simulate group-asynchronous federated learning over `system` with the
+/// given `grouping`, returning the training trace.
+///
+/// The simulation is event-driven in virtual time: each group's "ready" event
+/// fires when its slowest member finishes local training; aggregation then
+/// takes the (mode-dependent) upload latency, the global model is updated and
+/// the group is re-dispatched. With a single group the schedule degenerates to
+/// synchronous FL, so the same engine also powers the FedAvg / Air-FedAvg
+/// baselines.
+pub fn run_group_async(
+    system: &FlSystem,
+    grouping: &Grouping,
+    opts: &EngineOptions,
+    mechanism_name: &str,
+    rng: &mut Rng64,
+) -> TrainingTrace {
+    opts.validate();
+    assert_eq!(
+        grouping.num_workers(),
+        system.num_workers(),
+        "grouping does not match the system's worker count"
+    );
+    let mut trace = TrainingTrace::new(mechanism_name, &system.workload_label());
+    let mut template = system.fresh_model();
+    let mut global = template.params();
+    let total_data = system.total_data() as f64;
+    let model_dim = system.model_dim();
+    let wireless = &system.config.wireless;
+
+    let m = grouping.num_groups();
+    let mut dispatch_params: Vec<FlatParams> = vec![global.clone(); m];
+    let mut staleness = StalenessTracker::new(m);
+    let mut ledger = EnergyLedger::new(system.num_workers());
+
+    // Initial dispatch: every group starts local training on w_0 at time 0.
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    for j in 0..m {
+        queue.push(grouping.group_max_latency(j, &system.worker_infos), j);
+    }
+
+    // Record the starting point (round 0).
+    template.set_params(&global);
+    trace.record(TracePoint {
+        time: 0.0,
+        round: 0,
+        loss: template.loss(&system.test),
+        accuracy: template.accuracy(&system.test),
+        energy: 0.0,
+    });
+
+    let mut last_recorded_round = 0usize;
+    for round in 1..=opts.total_rounds {
+        let Some((ready_time, j)) = queue.pop() else {
+            break;
+        };
+        // Upload latency depends on the aggregation back-end.
+        let members = grouping.group(j);
+        let upload_latency = match opts.aggregation {
+            AggregationMode::AirComp { .. } => wireless.aircomp_aggregation_time(model_dim),
+            AggregationMode::OmaIdeal { scheme } => {
+                wireless.oma_round_upload_time(scheme, model_dim, members.len())
+            }
+        };
+        let aggregation_time = ready_time + upload_latency;
+        if let Some(limit) = opts.max_virtual_time {
+            if aggregation_time > limit {
+                break;
+            }
+        }
+
+        // Local training: every member trains from the model version its
+        // group received at dispatch time.
+        let local_params: Vec<FlatParams> = members
+            .iter()
+            .map(|&w| {
+                local_update_from(
+                    template.as_mut(),
+                    &dispatch_params[j],
+                    &system.shards[w],
+                    &system.config.sgd,
+                    rng,
+                )
+                .0
+            })
+            .collect();
+        let data_sizes: Vec<f64> = members
+            .iter()
+            .map(|&w| system.shards[w].len() as f64)
+            .collect();
+        let group_data: f64 = data_sizes.iter().sum();
+
+        // Aggregate the group's local models into the group estimate.
+        let group_estimate = match opts.aggregation {
+            AggregationMode::AirComp {
+                power_control,
+                noise,
+            } => {
+                let gains: Vec<f64> = members
+                    .iter()
+                    .map(|&w| system.channel.draw_worker(w, rng))
+                    .collect();
+                let norm_bound = local_params
+                    .iter()
+                    .map(|p| p.norm())
+                    .fold(0.0_f64, f64::max)
+                    .max(1e-9);
+                assert!(
+                    norm_bound.is_finite(),
+                    "local model norms diverged at round {round}; \
+                     check the learning rate / channel-noise calibration"
+                );
+                let (sigma, eta) = if power_control {
+                    let mut pc =
+                        PowerControlConfig::for_group(norm_bound, data_sizes.clone(), gains.clone());
+                    pc.noise_variance = wireless.noise_variance;
+                    pc.energy_budgets = vec![wireless.energy_budget; members.len()];
+                    let sol = optimize_power(&pc);
+                    (sol.sigma, sol.eta)
+                } else {
+                    (1.0, 1.0)
+                };
+                let inputs: Vec<AirAggregationInput<'_>> = members
+                    .iter()
+                    .enumerate()
+                    .map(|(k, _)| AirAggregationInput {
+                        data_size: data_sizes[k],
+                        channel_gain: gains[k],
+                        params: &local_params[k],
+                    })
+                    .collect();
+                let noise_var = if noise { wireless.noise_variance } else { 0.0 };
+                let result = air_aggregate(&inputs, sigma, eta, noise_var, rng);
+                for (k, &w) in members.iter().enumerate() {
+                    ledger.record(w, result.per_worker_energy[k]);
+                }
+                ledger.finish_round();
+                result.group_estimate
+            }
+            AggregationMode::OmaIdeal { .. } => {
+                // Exact weighted average of the members' local models.
+                let weighted: Vec<(f64, &FlatParams)> = local_params
+                    .iter()
+                    .enumerate()
+                    .map(|(k, p)| (data_sizes[k] / group_data, p))
+                    .collect();
+                ledger.finish_round();
+                FlatParams::weighted_sum(&weighted)
+            }
+        };
+
+        // Asynchronous global update (Eq. (10)) and staleness bookkeeping.
+        global = apply_group_update(&global, &group_estimate, group_data, total_data);
+        staleness.record_aggregation(j, round);
+
+        // Periodic evaluation.
+        if round % opts.eval_every == 0 || round == opts.total_rounds {
+            template.set_params(&global);
+            trace.record(TracePoint {
+                time: aggregation_time,
+                round,
+                loss: template.loss(&system.test),
+                accuracy: template.accuracy(&system.test),
+                energy: ledger.total(),
+            });
+            last_recorded_round = round;
+        }
+
+        // Re-dispatch the fresh global model to the group and schedule its
+        // next ready event.
+        dispatch_params[j] = global.clone();
+        let next_ready = aggregation_time
+            + wireless.broadcast_latency
+            + grouping.group_max_latency(j, &system.worker_infos);
+        queue.push(next_ready, j);
+        let _ = last_recorded_round;
+    }
+    trace
+}
+
+/// Configuration of the Air-FedGA mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AirFedGaConfig {
+    /// Number of global aggregation rounds `T`.
+    pub total_rounds: usize,
+    /// Evaluate the global model every this many rounds.
+    pub eval_every: usize,
+    /// The ξ parameter of constraint (36d) controlling intra-group latency
+    /// similarity (the paper finds ξ ≈ 0.3 optimal, Fig. 8).
+    pub xi: f64,
+    /// Convergence constants used inside the grouping objective.
+    pub objective: ObjectiveConstants,
+    /// Run Algorithm 2 power control each round.
+    pub power_control: bool,
+    /// Simulate channel noise (σ₀² from the wireless config).
+    pub channel_noise: bool,
+    /// Optional virtual-time budget (seconds).
+    pub max_virtual_time: Option<f64>,
+    /// Use this grouping instead of running Algorithm 3 (for ablations).
+    pub grouping_override: Option<Grouping>,
+}
+
+impl Default for AirFedGaConfig {
+    fn default() -> Self {
+        Self {
+            total_rounds: 300,
+            eval_every: 5,
+            xi: 0.3,
+            objective: ObjectiveConstants::default(),
+            power_control: true,
+            channel_noise: true,
+            max_virtual_time: None,
+            grouping_override: None,
+        }
+    }
+}
+
+/// The Air-FedGA mechanism (Algorithm 1 + Algorithm 2 + Algorithm 3).
+#[derive(Debug, Clone)]
+pub struct AirFedGa {
+    config: AirFedGaConfig,
+}
+
+impl AirFedGa {
+    /// Create the mechanism with the given configuration.
+    pub fn new(config: AirFedGaConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.xi), "xi must lie in [0,1]");
+        Self { config }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &AirFedGaConfig {
+        &self.config
+    }
+
+    /// The grouping Algorithm 3 produces for this system (or the override).
+    pub fn grouping_for(&self, system: &FlSystem) -> Grouping {
+        if let Some(g) = &self.config.grouping_override {
+            assert_eq!(
+                g.num_workers(),
+                system.num_workers(),
+                "grouping override does not match the system"
+            );
+            return g.clone();
+        }
+        let objective = GroupingObjective::new(
+            system.aircomp_aggregation_time(),
+            self.config.xi,
+            self.config.objective,
+        );
+        greedy_grouping(&system.worker_infos, &GreedyGroupingConfig::new(objective))
+    }
+
+    /// Run Air-FedGA with an explicit grouping (used by the ξ-sweep of
+    /// Fig. 8 and by ablations).
+    pub fn run_with_grouping(
+        &self,
+        system: &FlSystem,
+        grouping: &Grouping,
+        rng: &mut Rng64,
+    ) -> TrainingTrace {
+        let opts = EngineOptions {
+            total_rounds: self.config.total_rounds,
+            eval_every: self.config.eval_every,
+            max_virtual_time: self.config.max_virtual_time,
+            aggregation: AggregationMode::AirComp {
+                power_control: self.config.power_control,
+                noise: self.config.channel_noise,
+            },
+        };
+        run_group_async(system, grouping, &opts, self.name(), rng)
+    }
+}
+
+impl FlMechanism for AirFedGa {
+    fn name(&self) -> &'static str {
+        "Air-FedGA"
+    }
+
+    fn run(&self, system: &FlSystem, rng: &mut Rng64) -> TrainingTrace {
+        let grouping = self.grouping_for(system);
+        self.run_with_grouping(system, &grouping, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::FlSystemConfig;
+
+    fn quick_system(seed: u64) -> FlSystem {
+        let mut rng = Rng64::seed_from(seed);
+        FlSystemConfig::mnist_lr_quick().build(&mut rng)
+    }
+
+    fn quick_config(rounds: usize) -> AirFedGaConfig {
+        AirFedGaConfig {
+            total_rounds: rounds,
+            eval_every: 2,
+            ..AirFedGaConfig::default()
+        }
+    }
+
+    #[test]
+    fn airfedga_trains_and_reduces_loss() {
+        let system = quick_system(1);
+        let mech = AirFedGa::new(quick_config(60));
+        let mut rng = Rng64::seed_from(2);
+        let trace = mech.run(&system, &mut rng);
+        assert!(trace.len() > 5);
+        let initial = trace.points()[0].loss;
+        assert!(
+            trace.final_loss() < initial * 0.8,
+            "loss {} did not drop from {initial}",
+            trace.final_loss()
+        );
+        assert!(trace.final_accuracy() > 0.3);
+        assert!(trace.total_time() > 0.0);
+        assert!(trace.total_energy() > 0.0);
+    }
+
+    #[test]
+    fn grouping_respects_xi_and_covers_workers() {
+        let system = quick_system(3);
+        let mech = AirFedGa::new(quick_config(10));
+        let grouping = mech.grouping_for(&system);
+        assert_eq!(grouping.num_workers(), system.num_workers());
+        let objective = GroupingObjective::new(
+            system.aircomp_aggregation_time(),
+            mech.config().xi,
+            mech.config().objective,
+        );
+        assert!(objective.satisfies_xi(&grouping, &system.worker_infos));
+    }
+
+    #[test]
+    fn single_group_override_behaves_synchronously() {
+        let system = quick_system(4);
+        let cfg = AirFedGaConfig {
+            grouping_override: Some(Grouping::single_group(system.num_workers())),
+            ..quick_config(10)
+        };
+        let mech = AirFedGa::new(cfg);
+        let mut rng = Rng64::seed_from(5);
+        let trace = mech.run(&system, &mut rng);
+        // Synchronous: every round takes at least the slowest worker's time.
+        let slowest = (0..system.num_workers())
+            .map(|i| system.local_training_time(i))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(trace.total_time() >= slowest * (trace.total_rounds() as f64) * 0.99);
+    }
+
+    #[test]
+    fn noiseless_run_outperforms_or_matches_noisy_run() {
+        let system = quick_system(6);
+        let mut noisy_cfg = quick_config(40);
+        noisy_cfg.channel_noise = true;
+        let mut clean_cfg = quick_config(40);
+        clean_cfg.channel_noise = false;
+        let noisy = AirFedGa::new(noisy_cfg).run(&system, &mut Rng64::seed_from(7));
+        let clean = AirFedGa::new(clean_cfg).run(&system, &mut Rng64::seed_from(7));
+        assert!(clean.final_loss() <= noisy.final_loss() * 1.15);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let system = quick_system(8);
+        let mech = AirFedGa::new(quick_config(15));
+        let a = mech.run(&system, &mut Rng64::seed_from(9));
+        let b = mech.run(&system, &mut Rng64::seed_from(9));
+        assert_eq!(a.points().len(), b.points().len());
+        for (pa, pb) in a.points().iter().zip(b.points()) {
+            assert_eq!(pa.loss.to_bits(), pb.loss.to_bits());
+            assert_eq!(pa.time.to_bits(), pb.time.to_bits());
+        }
+    }
+
+    #[test]
+    fn max_virtual_time_caps_the_run() {
+        let system = quick_system(10);
+        let mut cfg = quick_config(500);
+        cfg.max_virtual_time = Some(100.0);
+        let mech = AirFedGa::new(cfg);
+        let trace = mech.run(&system, &mut Rng64::seed_from(11));
+        assert!(trace.total_time() <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn oma_engine_single_group_is_slower_per_round_than_aircomp() {
+        let system = quick_system(12);
+        let grouping = Grouping::single_group(system.num_workers());
+        let base = EngineOptions {
+            total_rounds: 5,
+            eval_every: 1,
+            max_virtual_time: None,
+            aggregation: AggregationMode::AirComp {
+                power_control: true,
+                noise: true,
+            },
+        };
+        let mut oma = base.clone();
+        oma.aggregation = AggregationMode::OmaIdeal {
+            scheme: OmaScheme::Tdma,
+        };
+        let air = run_group_async(&system, &grouping, &base, "air", &mut Rng64::seed_from(13));
+        let dig = run_group_async(&system, &grouping, &oma, "oma", &mut Rng64::seed_from(13));
+        assert!(dig.average_round_time() > air.average_round_time());
+    }
+}

@@ -1,0 +1,154 @@
+//! Staleness bookkeeping for asynchronous group updates.
+//!
+//! In Air-FedGA a group trains on the global-model version it last received;
+//! by the time it aggregates at round `t`, other groups may have pushed newer
+//! versions. The paper defines the staleness `τ_t` as the number of global
+//! rounds between the version the group trained from (`l_t = t − τ_t − 1`)
+//! and the current round. [`StalenessTracker`] records, per group, which
+//! version was dispatched to it and computes `τ_t` at aggregation time; the
+//! maximum observed staleness `τ_max` feeds the convergence factor `ρ` of
+//! Theorem 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks the global-model version held by each group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StalenessTracker {
+    /// For each group: the global round index at which it last received the
+    /// global model (0 = the initial model `w_0`).
+    dispatched_version: Vec<usize>,
+    /// Maximum staleness observed so far.
+    max_staleness: usize,
+    /// Sum and count for reporting the average staleness.
+    total_staleness: usize,
+    aggregations: usize,
+}
+
+impl StalenessTracker {
+    /// A tracker for `num_groups` groups; every group starts holding the
+    /// initial model `w_0` (version 0).
+    pub fn new(num_groups: usize) -> Self {
+        assert!(num_groups > 0, "need at least one group");
+        Self {
+            dispatched_version: vec![0; num_groups],
+            max_staleness: 0,
+            total_staleness: 0,
+            aggregations: 0,
+        }
+    }
+
+    /// Number of groups tracked.
+    pub fn num_groups(&self) -> usize {
+        self.dispatched_version.len()
+    }
+
+    /// The global-model version group `g` currently holds.
+    pub fn version_of(&self, group: usize) -> usize {
+        self.dispatched_version[group]
+    }
+
+    /// Record that group `g` aggregates at global round `t` (1-based), and
+    /// then receives the freshly updated model `w_t`. Returns the staleness
+    /// `τ_t = t − l_t − 1` where `l_t` is the version the group trained from.
+    pub fn record_aggregation(&mut self, group: usize, round: usize) -> usize {
+        assert!(round >= 1, "global rounds are 1-based");
+        let trained_from = self.dispatched_version[group];
+        assert!(
+            trained_from < round,
+            "group {group} cannot train from a future model version"
+        );
+        let staleness = round - trained_from - 1;
+        self.max_staleness = self.max_staleness.max(staleness);
+        self.total_staleness += staleness;
+        self.aggregations += 1;
+        // The group now receives w_round and will train from it next time.
+        self.dispatched_version[group] = round;
+        staleness
+    }
+
+    /// Largest staleness observed so far (`τ_max`).
+    pub fn max_staleness(&self) -> usize {
+        self.max_staleness
+    }
+
+    /// Mean staleness over all aggregations so far.
+    pub fn average_staleness(&self) -> f64 {
+        if self.aggregations == 0 {
+            0.0
+        } else {
+            self.total_staleness as f64 / self.aggregations as f64
+        }
+    }
+
+    /// Number of aggregations recorded.
+    pub fn aggregations(&self) -> usize {
+        self.aggregations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_staleness_values() {
+        // Fig. 2 of the paper: groups V1..V3; V1 aggregates at round 1 with
+        // staleness 0; V3 (dispatched w0 at the start) aggregates at round 4
+        // with staleness 3.
+        let mut t = StalenessTracker::new(3);
+        assert_eq!(t.record_aggregation(0, 1), 0);
+        assert_eq!(t.record_aggregation(1, 2), 1);
+        assert_eq!(t.record_aggregation(0, 3), 1);
+        assert_eq!(t.record_aggregation(2, 4), 3);
+        assert_eq!(t.max_staleness(), 3);
+        assert_eq!(t.aggregations(), 4);
+        assert!((t.average_staleness() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_group_always_has_zero_staleness() {
+        // Corollary 2: M = 1 implies tau_max = 0.
+        let mut t = StalenessTracker::new(1);
+        for round in 1..=50 {
+            assert_eq!(t.record_aggregation(0, round), 0);
+        }
+        assert_eq!(t.max_staleness(), 0);
+    }
+
+    #[test]
+    fn version_updates_after_aggregation() {
+        let mut t = StalenessTracker::new(2);
+        assert_eq!(t.version_of(0), 0);
+        t.record_aggregation(0, 1);
+        assert_eq!(t.version_of(0), 1);
+        assert_eq!(t.version_of(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "future model version")]
+    fn rejects_aggregating_with_future_version() {
+        let mut t = StalenessTracker::new(1);
+        t.record_aggregation(0, 1);
+        // Round 1 again would mean training from version 1 at round 1.
+        t.record_aggregation(0, 1);
+    }
+
+    #[test]
+    fn round_robin_staleness_equals_group_count_minus_one() {
+        // If M groups aggregate in strict rotation, each sees staleness M-1
+        // at steady state.
+        let m = 4;
+        let mut t = StalenessTracker::new(m);
+        let mut round = 0;
+        for cycle in 0..5 {
+            for g in 0..m {
+                round += 1;
+                let s = t.record_aggregation(g, round);
+                if cycle > 0 {
+                    assert_eq!(s, m - 1);
+                }
+            }
+        }
+        assert_eq!(t.max_staleness(), m - 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! # baselines — the comparison mechanisms of the Air-FedGA evaluation
+//!
+//! §VI.A.3 of the paper compares Air-FedGA against four mechanisms; all of
+//! them are implemented here behind the same [`airfedga::system::FlMechanism`]
+//! trait so the experiment harness can run them on identical systems:
+//!
+//! | Mechanism | Aggregation | Round structure | Module |
+//! |-----------|-------------|-----------------|--------|
+//! | **FedAvg** (McMahan et al.) | OMA digital uploads | synchronous, all workers | [`fedavg`] |
+//! | **TiFL** (Chai et al.)      | OMA digital uploads | asynchronous latency tiers | [`tifl`] |
+//! | **Air-FedAvg** (Cao et al.) | AirComp + optimal power control | synchronous, all workers | [`air_fedavg`] |
+//! | **Dynamic** (Sun et al.)    | AirComp + power control | synchronous, per-round worker subset | [`dynamic`] |
+//!
+//! FedAvg, TiFL and Air-FedAvg are thin wrappers over the group-asynchronous
+//! engine of `airfedga::mechanism` (a synchronous mechanism is simply the
+//! single-group special case); Dynamic has its own loop because its per-round
+//! worker-subset selection does not fit the group abstraction.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod air_fedavg;
+pub mod dynamic;
+pub mod fedavg;
+pub mod tifl;
+
+pub use air_fedavg::AirFedAvg;
+pub use dynamic::{Dynamic, DynamicConfig};
+pub use fedavg::FedAvg;
+pub use tifl::TiFl;
+
+/// Common run-length options shared by the baseline wrappers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineOptions {
+    /// Number of global aggregation rounds to simulate.
+    pub total_rounds: usize,
+    /// Evaluate the global model every this many rounds.
+    pub eval_every: usize,
+    /// Optional virtual-time budget (seconds).
+    pub max_virtual_time: Option<f64>,
+}
+
+impl Default for BaselineOptions {
+    fn default() -> Self {
+        Self {
+            total_rounds: 300,
+            eval_every: 5,
+            max_virtual_time: None,
+        }
+    }
+}
+
+impl BaselineOptions {
+    /// Panic on nonsensical values.
+    pub fn validate(&self) {
+        assert!(self.total_rounds > 0, "need at least one round");
+        assert!(self.eval_every > 0, "eval_every must be positive");
+        if let Some(t) = self.max_virtual_time {
+            assert!(t > 0.0, "max_virtual_time must be positive");
+        }
+    }
+}

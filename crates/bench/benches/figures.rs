@@ -1,0 +1,123 @@
+//! End-to-end benchmark groups, one per loss/accuracy figure of the paper.
+//!
+//! Each iteration performs a scaled-down training run of the mechanisms the
+//! figure compares (same code path as the `experiments` binaries, smaller
+//! system), so `cargo bench` both regenerates the comparison at smoke scale
+//! and tracks the simulator's own throughput over time.
+
+use airfedga::mechanism::{AirFedGa, AirFedGaConfig};
+use airfedga::system::{FlMechanism, FlSystemConfig};
+use baselines::{AirFedAvg, BaselineOptions, Dynamic, DynamicConfig, FedAvg, TiFl};
+use bench::{bench_system, BENCH_ROUNDS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedml::rng::Rng64;
+use std::hint::black_box;
+
+fn baseline_opts() -> BaselineOptions {
+    BaselineOptions {
+        total_rounds: BENCH_ROUNDS,
+        eval_every: BENCH_ROUNDS,
+        max_virtual_time: None,
+    }
+}
+
+fn airfedga() -> AirFedGa {
+    AirFedGa::new(AirFedGaConfig {
+        total_rounds: BENCH_ROUNDS,
+        eval_every: BENCH_ROUNDS,
+        ..AirFedGaConfig::default()
+    })
+}
+
+/// Benchmark the AirComp trio (Dynamic, Air-FedAvg, Air-FedGA) on a workload
+/// preset — the structure shared by Figs. 3, 4, 5 and 6.
+fn bench_aircomp_trio(c: &mut Criterion, group_name: &str, cfg: FlSystemConfig) {
+    let system = bench_system(cfg, 16, 42);
+    let mut group = c.benchmark_group(group_name);
+    group.bench_function("air_fedga", |b| {
+        let mech = airfedga();
+        b.iter(|| black_box(mech.run(&system, &mut Rng64::seed_from(1))))
+    });
+    group.bench_function("air_fedavg", |b| {
+        let mech = AirFedAvg::new(baseline_opts());
+        b.iter(|| black_box(mech.run(&system, &mut Rng64::seed_from(1))))
+    });
+    group.bench_function("dynamic", |b| {
+        let mech = Dynamic::new(DynamicConfig {
+            options: baseline_opts(),
+            ..DynamicConfig::default()
+        });
+        b.iter(|| black_box(mech.run(&system, &mut Rng64::seed_from(1))))
+    });
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    bench_aircomp_trio(c, "fig3_lr_mnist", FlSystemConfig::mnist_lr_quick());
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut cfg = FlSystemConfig::mnist_cnn();
+    cfg.dataset.samples_per_class = 40;
+    cfg.test_per_class = 10;
+    bench_aircomp_trio(c, "fig4_cnn_mnist", cfg);
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut cfg = FlSystemConfig::cifar_cnn();
+    cfg.dataset.samples_per_class = 40;
+    cfg.test_per_class = 10;
+    bench_aircomp_trio(c, "fig5_cnn_cifar", cfg);
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut cfg = FlSystemConfig::imagenet_vgg();
+    cfg.dataset.samples_per_class = 8;
+    cfg.test_per_class = 2;
+    bench_aircomp_trio(c, "fig6_vgg_imagenet", cfg);
+}
+
+fn bench_fig8_xi_sweep(c: &mut Criterion) {
+    let system = bench_system(FlSystemConfig::mnist_cnn(), 16, 42);
+    let mut group = c.benchmark_group("fig8_xi_sweep");
+    for &xi in &[0.0, 0.3, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(xi), &xi, |b, &xi| {
+            let mech = AirFedGa::new(AirFedGaConfig {
+                xi,
+                total_rounds: BENCH_ROUNDS,
+                eval_every: BENCH_ROUNDS,
+                ..AirFedGaConfig::default()
+            });
+            b.iter(|| black_box(mech.run(&system, &mut Rng64::seed_from(2))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_scalability");
+    for &n in &[10usize, 20] {
+        let system = bench_system(FlSystemConfig::mnist_cnn(), n, 42);
+        group.bench_with_input(BenchmarkId::new("fedavg", n), &n, |b, _| {
+            let mech = FedAvg::new(baseline_opts());
+            b.iter(|| black_box(mech.run(&system, &mut Rng64::seed_from(3))))
+        });
+        group.bench_with_input(BenchmarkId::new("tifl", n), &n, |b, _| {
+            let mech = TiFl::new(baseline_opts());
+            b.iter(|| black_box(mech.run(&system, &mut Rng64::seed_from(3))))
+        });
+        group.bench_with_input(BenchmarkId::new("air_fedga", n), &n, |b, _| {
+            let mech = airfedga();
+            b.iter(|| black_box(mech.run(&system, &mut Rng64::seed_from(3))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fig3, bench_fig4, bench_fig5, bench_fig6,
+              bench_fig8_xi_sweep, bench_fig10_scalability
+}
+criterion_main!(figures);

@@ -1,0 +1,103 @@
+//! Benchmark groups for the paper's tables.
+//!
+//! * `table1_comparison` — the measured proxies behind Table I (per-round
+//!   air-time, straggler idle fraction, EMD of the participating unit).
+//! * `table3_emd` — the three grouping methods whose average EMD Table III
+//!   compares (Original / TiFL / Air-FedGA), run on a 100-worker label-skew
+//!   population.
+//! * `theorem1_bound` — evaluating the Theorem-1 bound and the Lemma-1
+//!   recursion.
+
+use airfedga::convergence::{lemma1_recursion, theorem1_bound, BoundInputs, GroupTerm};
+use airfedga::mechanism::{AirFedGa, AirFedGaConfig};
+use airfedga::system::FlSystemConfig;
+use bench::bench_system;
+use criterion::{criterion_group, criterion_main, Criterion};
+use grouping::emd::average_group_emd;
+use grouping::tifl::tifl_grouping;
+use grouping::worker_info::{Grouping, WorkerInfo};
+use std::hint::black_box;
+
+fn label_skew_workers(n: usize) -> Vec<WorkerInfo> {
+    (0..n)
+        .map(|i| {
+            let mut counts = vec![0usize; 10];
+            counts[i * 10 / n] = 30;
+            WorkerInfo::new(i, 8.0 + ((i * 13) % 54) as f64, 30, counts)
+        })
+        .collect()
+}
+
+fn bench_table3_emd(c: &mut Criterion) {
+    let workers = label_skew_workers(100);
+    let mut group = c.benchmark_group("table3_emd");
+    group.bench_function("original_singletons", |b| {
+        let g = Grouping::singletons(100);
+        b.iter(|| black_box(average_group_emd(&g, &workers)))
+    });
+    group.bench_function("tifl_tiers", |b| {
+        b.iter(|| {
+            let g = tifl_grouping(&workers, 10);
+            black_box(average_group_emd(&g, &workers))
+        })
+    });
+    group.bench_function("airfedga_grouping", |b| {
+        let system = bench_system(FlSystemConfig::mnist_cnn(), 20, 42);
+        let mech = AirFedGa::new(AirFedGaConfig::default());
+        b.iter(|| {
+            let g = mech.grouping_for(&system);
+            black_box(average_group_emd(&g, &system.worker_infos))
+        })
+    });
+    group.finish();
+}
+
+fn bench_table1_proxies(c: &mut Criterion) {
+    let system = bench_system(FlSystemConfig::mnist_cnn(), 20, 42);
+    let mut group = c.benchmark_group("table1_comparison");
+    group.bench_function("airtime_and_idle_proxies", |b| {
+        b.iter(|| {
+            let dim = system.model_dim();
+            let w = &system.config.wireless;
+            let oma = w.oma_round_upload_time(wireless::timing::OmaScheme::Tdma, dim, 20);
+            let air = w.aircomp_aggregation_time(dim);
+            let slowest = (0..system.num_workers())
+                .map(|i| system.local_training_time(i))
+                .fold(f64::NEG_INFINITY, f64::max);
+            black_box((oma, air, slowest))
+        })
+    });
+    group.finish();
+}
+
+fn bench_theorem1(c: &mut Criterion) {
+    let groups: Vec<GroupTerm> = (0..10)
+        .map(|_| GroupTerm {
+            psi: 0.1,
+            beta: 0.1,
+            emd: 0.4,
+        })
+        .collect();
+    let inputs = BoundInputs {
+        mu: 0.2,
+        smoothness: 1.0,
+        gamma: 0.75,
+        gradient_bound_sq: 0.02,
+        aggregation_error: 0.01,
+        max_staleness: 5,
+        initial_gap: 2.3,
+    };
+    c.bench_function("theorem1_bound_10_groups", |b| {
+        b.iter(|| black_box(theorem1_bound(&inputs, &groups)))
+    });
+    c.bench_function("lemma1_recursion_1000_rounds", |b| {
+        b.iter(|| black_box(lemma1_recursion(0.55, 0.35, 0.02, 3.0, 4, 1000)))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_table3_emd, bench_table1_proxies, bench_theorem1
+}
+criterion_main!(tables);

@@ -1,0 +1,85 @@
+//! Figure 10 — scalability: average single-round time (left) and total time
+//! to reach 80 % accuracy (right) as the number of workers `N` varies, for
+//! all five mechanisms (CNN on the MNIST-like dataset).
+//!
+//! Shapes to reproduce: FedAvg's round time grows with `N` (OMA uploads);
+//! Air-FedAvg's and Dynamic's stay flat (AirComp); Air-FedGA's and TiFL's
+//! *fall* with `N` (more workers → more groups → more frequent asynchronous
+//! updates). Total training time consequently grows with `N` for the OMA
+//! mechanisms and shrinks for the AirComp ones, with Air-FedGA fastest at
+//! `N = 100`.
+
+use airfedga::system::FlSystemConfig;
+use experiments::harness::{compare_mechanisms, MechanismChoice};
+use experiments::report::{fmt_opt_secs, fmt_secs, try_write_csv, Table};
+use experiments::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let worker_counts: Vec<usize> = match scale {
+        Scale::Full => vec![20, 40, 60, 80, 100],
+        Scale::Quick => vec![10, 20],
+    };
+    let target = 0.8;
+    let mechanisms = MechanismChoice::all();
+
+    let mut round_table = Table::new(
+        "Fig. 10 (left): average single-round time (s) vs number of workers",
+        &["N", "FedAvg", "TiFL", "Dynamic", "Air-FedAvg", "Air-FedGA"],
+    );
+    let mut total_table = Table::new(
+        "Fig. 10 (right): total time (s) to stable 80% accuracy vs number of workers",
+        &["N", "FedAvg", "TiFL", "Dynamic", "Air-FedAvg", "Air-FedGA"],
+    );
+    let mut csv = String::from("n,mechanism,avg_round_s,time_to_80_s\n");
+
+    for &n in &worker_counts {
+        let mut cfg = scale.apply(FlSystemConfig::mnist_cnn());
+        cfg.num_workers = n;
+        // Keep the per-worker shard size constant across the sweep (30
+        // samples per worker), as in a scalability experiment where adding
+        // workers adds data: this isolates how the *mechanisms* scale with N
+        // rather than how shrinking shards speed up local training.
+        cfg.dataset.samples_per_class = 30 * n / cfg.dataset.num_classes.max(1);
+        let summaries = compare_mechanisms(
+            &cfg,
+            &mechanisms,
+            scale.total_rounds(),
+            scale.eval_every(),
+            None,
+            42,
+            4242,
+        );
+        let cell = |label: &str, f: &dyn Fn(&experiments::harness::RunSummary) -> String| {
+            summaries
+                .iter()
+                .find(|s| s.mechanism == label)
+                .map(f)
+                .unwrap_or_else(|| "n/a".to_string())
+        };
+        let order = ["FedAvg", "TiFL", "Dynamic", "Air-FedAvg", "Air-FedGA"];
+        let mut round_row = vec![n.to_string()];
+        let mut total_row = vec![n.to_string()];
+        for label in order {
+            round_row.push(cell(label, &|s| fmt_secs(s.average_round_time)));
+            total_row.push(cell(label, &|s| fmt_opt_secs(s.time_to_accuracy(target))));
+        }
+        round_table.add_row(round_row);
+        total_table.add_row(total_row);
+        for s in &summaries {
+            csv.push_str(&format!(
+                "{n},{},{:.2},{}\n",
+                s.mechanism,
+                s.average_round_time,
+                s.time_to_accuracy(target)
+                    .map(|t| format!("{t:.1}"))
+                    .unwrap_or_default()
+            ));
+        }
+        println!("finished N = {n}");
+    }
+    println!();
+    println!("{}", round_table.render());
+    println!("{}", total_table.render());
+    try_write_csv("fig10_scalability.csv", &csv);
+}

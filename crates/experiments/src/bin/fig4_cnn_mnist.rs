@@ -1,0 +1,19 @@
+//! Figure 4 — Loss/Accuracy vs. time for the CNN surrogate on the MNIST-like
+//! dataset (Dynamic vs Air-FedAvg vs Air-FedGA).
+
+use airfedga::system::FlSystemConfig;
+use experiments::figures::{print_speedups, run_time_accuracy_figure};
+use experiments::harness::MechanismChoice;
+use experiments::scale::Scale;
+
+fn main() {
+    let outcome = run_time_accuracy_figure(
+        "Fig. 4: CNN on MNIST-like (loss/accuracy vs time)",
+        FlSystemConfig::mnist_cnn(),
+        &MechanismChoice::aircomp_trio(),
+        &[0.8, 0.85, 0.9],
+        "fig4",
+        Scale::from_env(),
+    );
+    print_speedups(&outcome, 0.8);
+}

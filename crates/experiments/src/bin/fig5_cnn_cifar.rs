@@ -1,0 +1,20 @@
+//! Figure 5 — Loss/Accuracy vs. time for the CNN surrogate on the
+//! CIFAR-10-like dataset (harder task: lower accuracy plateau), comparing
+//! Dynamic, Air-FedAvg and Air-FedGA.
+
+use airfedga::system::FlSystemConfig;
+use experiments::figures::{print_speedups, run_time_accuracy_figure};
+use experiments::harness::MechanismChoice;
+use experiments::scale::Scale;
+
+fn main() {
+    let outcome = run_time_accuracy_figure(
+        "Fig. 5: CNN on CIFAR-10-like (loss/accuracy vs time)",
+        FlSystemConfig::cifar_cnn(),
+        &MechanismChoice::aircomp_trio(),
+        &[0.45, 0.5, 0.55],
+        "fig5",
+        Scale::from_env(),
+    );
+    print_speedups(&outcome, 0.5);
+}

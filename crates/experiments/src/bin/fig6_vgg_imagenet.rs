@@ -1,0 +1,20 @@
+//! Figure 6 — Loss/Accuracy vs. time for the VGG-16 surrogate on the
+//! ImageNet-100-like dataset (100 classes, largest model), comparing
+//! Dynamic, Air-FedAvg and Air-FedGA.
+
+use airfedga::system::FlSystemConfig;
+use experiments::figures::{print_speedups, run_time_accuracy_figure};
+use experiments::harness::MechanismChoice;
+use experiments::scale::Scale;
+
+fn main() {
+    let outcome = run_time_accuracy_figure(
+        "Fig. 6: VGG-16 surrogate on ImageNet-100-like (loss/accuracy vs time)",
+        FlSystemConfig::imagenet_vgg(),
+        &MechanismChoice::aircomp_trio(),
+        &[0.3, 0.4, 0.5],
+        "fig6",
+        Scale::from_env(),
+    );
+    print_speedups(&outcome, 0.4);
+}

@@ -1,0 +1,63 @@
+//! Figure 8 — training time to reach 80 / 85 / 90 % accuracy as a function of
+//! the grouping-similarity parameter ξ ∈ [0, 1] (CNN on the MNIST-like
+//! dataset).
+//!
+//! The paper finds a U-shape with the minimum near ξ = 0.3: ξ → 0 degenerates
+//! to fully-asynchronous single-worker updates (no AirComp benefit, many
+//! stale updates), while ξ → 1 recreates the straggler problem inside large
+//! groups. The reproduced sweep should show both ends slower than the middle.
+
+use airfedga::mechanism::{AirFedGa, AirFedGaConfig};
+use airfedga::system::{FlMechanism, FlSystemConfig};
+use experiments::report::{fmt_opt_secs, try_write_csv, Table};
+use experiments::scale::Scale;
+use fedml::rng::Rng64;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = scale.apply(FlSystemConfig::mnist_cnn());
+    let system = cfg.build(&mut Rng64::seed_from(42));
+    let targets = [0.8, 0.85, 0.9];
+    let xis: Vec<f64> = match scale {
+        Scale::Full => (0..=10).map(|i| i as f64 / 10.0).collect(),
+        Scale::Quick => vec![0.0, 0.3, 0.7, 1.0],
+    };
+
+    println!(
+        "Fig. 8: time to target accuracy vs xi ({} workers, {:?} scale)\n",
+        system.num_workers(),
+        scale
+    );
+    let mut table = Table::new(
+        "Training time (s) to reach target accuracy vs xi",
+        &["xi", "groups", "t@80%", "t@85%", "t@90%"],
+    );
+    let mut csv = String::from("xi,groups,t80,t85,t90\n");
+    for &xi in &xis {
+        let mech = AirFedGa::new(AirFedGaConfig {
+            xi,
+            total_rounds: scale.total_rounds() * 2,
+            eval_every: scale.eval_every(),
+            ..AirFedGaConfig::default()
+        });
+        let grouping = mech.grouping_for(&system);
+        let trace = mech.run(&system, &mut Rng64::seed_from(4242));
+        let times: Vec<Option<f64>> = targets.iter().map(|&t| trace.time_to_accuracy(t)).collect();
+        table.add_row(vec![
+            format!("{xi:.1}"),
+            format!("{}", grouping.num_groups()),
+            fmt_opt_secs(times[0]),
+            fmt_opt_secs(times[1]),
+            fmt_opt_secs(times[2]),
+        ]);
+        csv.push_str(&format!(
+            "{xi:.1},{},{},{},{}\n",
+            grouping.num_groups(),
+            times[0].map(|t| format!("{t:.1}")).unwrap_or_default(),
+            times[1].map(|t| format!("{t:.1}")).unwrap_or_default(),
+            times[2].map(|t| format!("{t:.1}")).unwrap_or_default(),
+        ));
+    }
+    println!("{}", table.render());
+    try_write_csv("fig8_xi_sweep.csv", &csv);
+}

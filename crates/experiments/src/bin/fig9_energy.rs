@@ -1,0 +1,64 @@
+//! Figure 9 — aggregation energy consumed to reach a target accuracy, for
+//! the three AirComp mechanisms, on CNN/MNIST-like (left) and
+//! CNN/CIFAR-10-like (right).
+//!
+//! Shape to reproduce: Air-FedAvg spends the least energy (fewest
+//! aggregations per worker), Air-FedGA slightly more (asynchronous groups
+//! aggregate more often), Dynamic the most (its data-agnostic worker
+//! selection needs more rounds to converge).
+
+use airfedga::system::FlSystemConfig;
+use experiments::figures::run_time_accuracy_figure;
+use experiments::harness::MechanismChoice;
+use experiments::report::Table;
+use experiments::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let workloads = [
+        (
+            "CNN on MNIST-like",
+            FlSystemConfig::mnist_cnn(),
+            [0.80, 0.85, 0.90],
+        ),
+        (
+            "CNN on CIFAR-10-like",
+            FlSystemConfig::cifar_cnn(),
+            [0.45, 0.50, 0.55],
+        ),
+    ];
+    for (label, cfg, targets) in workloads {
+        let outcome = run_time_accuracy_figure(
+            &format!("Fig. 9 ({label}): energy to reach target accuracy"),
+            cfg,
+            &MechanismChoice::aircomp_trio(),
+            &targets,
+            &format!(
+                "fig9_{}",
+                label.to_lowercase().replace([' ', '-'], "_")
+            ),
+            scale,
+        );
+        let mut table = Table::new(
+            &format!("Aggregation energy (J) to reach target accuracy — {label}"),
+            &["mechanism", "E@t1", "E@t2", "E@t3"],
+        );
+        for s in &outcome.summaries {
+            let cells: Vec<String> = targets
+                .iter()
+                .map(|&t| {
+                    s.energy_to_accuracy(t)
+                        .map(|e| format!("{e:.0}"))
+                        .unwrap_or_else(|| "n/a".to_string())
+                })
+                .collect();
+            table.add_row(vec![
+                s.mechanism.clone(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}

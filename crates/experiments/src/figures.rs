@@ -1,0 +1,155 @@
+//! Shared driver for the loss/accuracy-vs-time figures (Figs. 3–6) and the
+//! energy figure (Fig. 9): run the AirComp mechanisms on one system, print
+//! the paper-style summary rows and dump one CSV per mechanism.
+
+use crate::harness::{compare_mechanisms, MechanismChoice, RunSummary};
+use crate::report::{fmt_opt_secs, fmt_secs, try_write_csv, Table};
+use crate::scale::Scale;
+use airfedga::system::FlSystemConfig;
+
+/// Outcome of a figure run, returned so integration tests can assert on the
+/// reproduced *shape* (who wins, roughly by how much).
+#[derive(Debug, Clone)]
+pub struct FigureOutcome {
+    /// One summary per mechanism, in the order they were requested.
+    pub summaries: Vec<RunSummary>,
+}
+
+impl FigureOutcome {
+    /// The summary for a given mechanism label.
+    pub fn get(&self, label: &str) -> &RunSummary {
+        self.summaries
+            .iter()
+            .find(|s| s.mechanism == label)
+            .unwrap_or_else(|| panic!("no summary for mechanism {label}"))
+    }
+}
+
+/// Run one loss/accuracy-vs-time comparison (the shape of Figs. 3–6).
+///
+/// * `workload` — the system preset (model + dataset).
+/// * `mechanisms` — which mechanisms to compare.
+/// * `accuracy_targets` — the accuracies whose time-to-reach is reported
+///   (e.g. the paper quotes time to a stable 80 % for Fig. 3).
+/// * `csv_prefix` — base name for the per-mechanism CSV traces.
+pub fn run_time_accuracy_figure(
+    title: &str,
+    workload: FlSystemConfig,
+    mechanisms: &[MechanismChoice],
+    accuracy_targets: &[f64],
+    csv_prefix: &str,
+    scale: Scale,
+) -> FigureOutcome {
+    let cfg = scale.apply(workload);
+    println!(
+        "{title}\n  workload: {} | {} workers | {} rounds (scale: {scale:?})",
+        cfg.dataset.name,
+        cfg.num_workers,
+        scale.total_rounds()
+    );
+    let summaries = compare_mechanisms(
+        &cfg,
+        mechanisms,
+        scale.total_rounds(),
+        scale.eval_every(),
+        None,
+        42,
+        4242,
+    );
+
+    let mut header = vec![
+        "mechanism".to_string(),
+        "final acc".to_string(),
+        "final loss".to_string(),
+        "avg round (s)".to_string(),
+        "total time (s)".to_string(),
+        "energy (J)".to_string(),
+    ];
+    for t in accuracy_targets {
+        header.push(format!("t@{:.0}% (s)", t * 100.0));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(title, &header_refs);
+    for s in &summaries {
+        let mut row = vec![
+            s.mechanism.clone(),
+            format!("{:.3}", s.final_accuracy),
+            format!("{:.3}", s.final_loss),
+            fmt_secs(s.average_round_time),
+            fmt_secs(s.total_time),
+            format!("{:.0}", s.total_energy),
+        ];
+        for t in accuracy_targets {
+            row.push(fmt_opt_secs(s.time_to_accuracy(*t)));
+        }
+        table.add_row(row);
+    }
+    println!("{}", table.render());
+
+    for s in &summaries {
+        let name = format!(
+            "{csv_prefix}_{}.csv",
+            s.mechanism.to_lowercase().replace(['-', ' '], "_")
+        );
+        try_write_csv(&name, &s.trace.to_csv());
+    }
+    FigureOutcome { summaries }
+}
+
+/// Print the paper's headline speed-up claim for a figure: how much faster
+/// Air-FedGA reaches `target` accuracy than each other mechanism.
+pub fn print_speedups(outcome: &FigureOutcome, target: f64) {
+    let Some(ga) = outcome
+        .summaries
+        .iter()
+        .find(|s| s.mechanism == "Air-FedGA")
+        .and_then(|s| s.time_to_accuracy(target))
+    else {
+        println!(
+            "Air-FedGA did not reach a stable {:.0}% accuracy in this run",
+            target * 100.0
+        );
+        return;
+    };
+    for s in &outcome.summaries {
+        if s.mechanism == "Air-FedGA" {
+            continue;
+        }
+        match s.time_to_accuracy(target) {
+            Some(t) => println!(
+                "  Air-FedGA reaches {:.0}% accuracy {:.1}% faster than {} ({:.0}s vs {:.0}s)",
+                target * 100.0,
+                (1.0 - ga / t) * 100.0,
+                s.mechanism,
+                ga,
+                t
+            ),
+            None => println!(
+                "  {} never stably reached {:.0}% accuracy (Air-FedGA: {:.0}s)",
+                s.mechanism,
+                target * 100.0,
+                ga
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_driver_runs_at_quick_scale() {
+        let outcome = run_time_accuracy_figure(
+            "test figure",
+            FlSystemConfig::mnist_lr_quick(),
+            &[MechanismChoice::AirFedAvg, MechanismChoice::AirFedGa],
+            &[0.5],
+            "test_fig",
+            Scale::Quick,
+        );
+        assert_eq!(outcome.summaries.len(), 2);
+        assert_eq!(outcome.get("Air-FedGA").mechanism, "Air-FedGA");
+        print_speedups(&outcome, 0.5);
+    }
+}

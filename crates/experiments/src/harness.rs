@@ -1,0 +1,234 @@
+//! Running several mechanisms on identical systems and summarising the runs.
+//!
+//! The comparisons of Figs. 3–6 and Figs. 9–10 always follow the same shape:
+//! build one [`FlSystem`], run each mechanism on it (same seed, same shards,
+//! same heterogeneity, same channel statistics), and compare loss/accuracy
+//! vs. virtual time, time-to-accuracy and energy-to-accuracy. This module
+//! provides that loop plus the [`RunSummary`] extracted from each trace.
+
+use airfedga::mechanism::{AirFedGa, AirFedGaConfig};
+use airfedga::system::{FlMechanism, FlSystem, FlSystemConfig};
+use baselines::{AirFedAvg, BaselineOptions, Dynamic, DynamicConfig, FedAvg, TiFl};
+use fedml::rng::Rng64;
+use simcore::trace::TrainingTrace;
+
+/// Which mechanism to include in a comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MechanismChoice {
+    /// The paper's contribution.
+    AirFedGa,
+    /// AirComp synchronous baseline.
+    AirFedAvg,
+    /// AirComp synchronous with per-round worker scheduling.
+    Dynamic,
+    /// OMA synchronous baseline.
+    FedAvg,
+    /// OMA tier-asynchronous baseline.
+    TiFl,
+}
+
+impl MechanismChoice {
+    /// All five mechanisms, in the order the paper lists them.
+    pub fn all() -> Vec<MechanismChoice> {
+        vec![
+            MechanismChoice::FedAvg,
+            MechanismChoice::TiFl,
+            MechanismChoice::Dynamic,
+            MechanismChoice::AirFedAvg,
+            MechanismChoice::AirFedGa,
+        ]
+    }
+
+    /// The three AirComp-based mechanisms compared in Figs. 3–6 and Fig. 9.
+    pub fn aircomp_trio() -> Vec<MechanismChoice> {
+        vec![
+            MechanismChoice::Dynamic,
+            MechanismChoice::AirFedAvg,
+            MechanismChoice::AirFedGa,
+        ]
+    }
+
+    /// Display name (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            MechanismChoice::AirFedGa => "Air-FedGA",
+            MechanismChoice::AirFedAvg => "Air-FedAvg",
+            MechanismChoice::Dynamic => "Dynamic",
+            MechanismChoice::FedAvg => "FedAvg",
+            MechanismChoice::TiFl => "TiFL",
+        }
+    }
+
+    /// Instantiate the mechanism with a given round budget.
+    pub fn build(
+        self,
+        total_rounds: usize,
+        eval_every: usize,
+        max_virtual_time: Option<f64>,
+    ) -> Box<dyn FlMechanism> {
+        let opts = BaselineOptions {
+            total_rounds,
+            eval_every,
+            max_virtual_time,
+        };
+        match self {
+            MechanismChoice::AirFedGa => Box::new(AirFedGa::new(AirFedGaConfig {
+                total_rounds,
+                eval_every,
+                max_virtual_time,
+                ..AirFedGaConfig::default()
+            })),
+            MechanismChoice::AirFedAvg => Box::new(AirFedAvg::new(opts)),
+            MechanismChoice::Dynamic => Box::new(Dynamic::new(DynamicConfig {
+                options: opts,
+                ..DynamicConfig::default()
+            })),
+            MechanismChoice::FedAvg => Box::new(FedAvg::new(opts)),
+            MechanismChoice::TiFl => Box::new(TiFl::new(opts)),
+        }
+    }
+}
+
+/// Summary of one mechanism's run, as reported in the paper's text.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Full trace (for CSV output / plotting).
+    pub trace: TrainingTrace,
+    /// Final accuracy at the end of the run.
+    pub final_accuracy: f64,
+    /// Final loss at the end of the run.
+    pub final_loss: f64,
+    /// Average single-round duration (seconds).
+    pub average_round_time: f64,
+    /// Total virtual training time (seconds).
+    pub total_time: f64,
+    /// Total aggregation energy (Joules).
+    pub total_energy: f64,
+}
+
+impl RunSummary {
+    /// Build the summary from a trace.
+    pub fn from_trace(trace: TrainingTrace) -> Self {
+        Self {
+            mechanism: trace.mechanism.clone(),
+            final_accuracy: trace.final_accuracy(),
+            final_loss: trace.final_loss(),
+            average_round_time: trace.average_round_time(),
+            total_time: trace.total_time(),
+            total_energy: trace.total_energy(),
+            trace,
+        }
+    }
+
+    /// Virtual time at which the run first stably reaches `target` accuracy.
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.trace.time_to_accuracy(target)
+    }
+
+    /// Aggregation energy spent when the run first stably reaches `target`.
+    pub fn energy_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.trace.energy_to_accuracy(target)
+    }
+}
+
+/// Run the chosen mechanisms on one freshly-built system.
+///
+/// Every mechanism sees the same system (same seed `system_seed`) and the
+/// same run seed (`run_seed`), so differences in the traces come only from
+/// the aggregation strategy.
+pub fn compare_mechanisms(
+    config: &FlSystemConfig,
+    mechanisms: &[MechanismChoice],
+    total_rounds: usize,
+    eval_every: usize,
+    max_virtual_time: Option<f64>,
+    system_seed: u64,
+    run_seed: u64,
+) -> Vec<RunSummary> {
+    let system = config.build(&mut Rng64::seed_from(system_seed));
+    compare_on_system(
+        &system,
+        mechanisms,
+        total_rounds,
+        eval_every,
+        max_virtual_time,
+        run_seed,
+    )
+}
+
+/// Run the chosen mechanisms on an already-built system.
+pub fn compare_on_system(
+    system: &FlSystem,
+    mechanisms: &[MechanismChoice],
+    total_rounds: usize,
+    eval_every: usize,
+    max_virtual_time: Option<f64>,
+    run_seed: u64,
+) -> Vec<RunSummary> {
+    mechanisms
+        .iter()
+        .map(|&choice| {
+            let mech = choice.build(total_rounds, eval_every, max_virtual_time);
+            let trace = mech.run(system, &mut Rng64::seed_from(run_seed));
+            RunSummary::from_trace(trace)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mechanism_choice_builds_every_variant() {
+        for choice in MechanismChoice::all() {
+            let mech = choice.build(5, 1, None);
+            assert_eq!(mech.name(), choice.label());
+        }
+        assert_eq!(MechanismChoice::aircomp_trio().len(), 3);
+    }
+
+    #[test]
+    fn compare_runs_all_requested_mechanisms_on_one_system() {
+        let cfg = FlSystemConfig::mnist_lr_quick();
+        let summaries = compare_mechanisms(
+            &cfg,
+            &[MechanismChoice::AirFedAvg, MechanismChoice::AirFedGa],
+            15,
+            5,
+            None,
+            11,
+            12,
+        );
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].mechanism, "Air-FedAvg");
+        assert_eq!(summaries[1].mechanism, "Air-FedGA");
+        for s in &summaries {
+            assert!(s.final_loss.is_finite());
+            assert!(s.total_time > 0.0);
+            assert!(!s.trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn summary_reflects_trace_contents() {
+        let cfg = FlSystemConfig::mnist_lr_quick();
+        let summaries = compare_mechanisms(
+            &cfg,
+            &[MechanismChoice::AirFedGa],
+            20,
+            2,
+            None,
+            3,
+            4,
+        );
+        let s = &summaries[0];
+        assert_eq!(s.final_accuracy, s.trace.final_accuracy());
+        assert_eq!(s.total_energy, s.trace.total_energy());
+        // A target accuracy of 0 is reached immediately; 1.01 never.
+        assert!(s.time_to_accuracy(0.0).is_some());
+        assert!(s.time_to_accuracy(1.01).is_none());
+    }
+}

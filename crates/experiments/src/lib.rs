@@ -1,0 +1,38 @@
+//! # experiments — regeneration harness for every table and figure
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section (§VI) on the simulated substrate, printing the
+//! same rows/series the paper reports and (optionally) writing CSV files for
+//! plotting. The shared pieces live here:
+//!
+//! * [`harness`] — building systems, running a set of mechanisms on the same
+//!   system, and collecting time/energy-to-accuracy summaries.
+//! * [`report`] — plain-text table rendering and CSV output.
+//! * [`scale`] — the `AIRFEDGA_SCALE` switch (`full` / `quick`) so the same
+//!   binaries can be exercised in CI seconds or run at paper scale.
+//!
+//! | Binary | Reproduces |
+//! |--------|------------|
+//! | `fig3_lr_mnist`     | Fig. 3 — loss/accuracy vs time, LR on MNIST-like |
+//! | `fig4_cnn_mnist`    | Fig. 4 — loss/accuracy vs time, CNN on MNIST-like |
+//! | `fig5_cnn_cifar`    | Fig. 5 — loss/accuracy vs time, CNN on CIFAR-10-like |
+//! | `fig6_vgg_imagenet` | Fig. 6 — loss/accuracy vs time, VGG-16 surrogate on ImageNet-100-like |
+//! | `fig7_grouping_boxplot` | Fig. 7 — per-group latency ranges at ξ = 0.3 |
+//! | `fig8_xi_sweep`     | Fig. 8 — time to 80/85/90 % accuracy vs ξ |
+//! | `fig9_energy`       | Fig. 9 — aggregation energy to reach target accuracy |
+//! | `fig10_scalability` | Fig. 10 — single-round and total time vs number of workers |
+//! | `table1_comparison` | Table I — qualitative mechanism comparison, measured proxies |
+//! | `table3_emd`        | Table III — average inter-group EMD per grouping method |
+//! | `theorem1_bound`    | Theorem 1 / Corollaries 1–2 — numeric bound evaluation |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod harness;
+pub mod report;
+pub mod scale;
+
+pub use harness::{compare_mechanisms, MechanismChoice, RunSummary};
+pub use report::{write_csv, Table};
+pub use scale::Scale;

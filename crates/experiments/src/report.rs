@@ -1,0 +1,175 @@
+//! Plain-text tables and CSV output.
+//!
+//! The experiment binaries print paper-style tables to stdout and optionally
+//! dump CSV files (one per figure series) under `results/` so the curves can
+//! be re-plotted with any external tool.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple fixed-column text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells). Rows shorter than the header are
+    /// padded with empty cells; longer rows are rejected.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert!(
+            cells.len() <= self.header.len(),
+            "row has more cells than the header"
+        );
+        let mut cells = cells;
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:<w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Directory where experiment binaries drop their CSV outputs.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+/// Write `contents` to `results/<name>`, creating the directory if needed.
+/// Returns the written path.
+pub fn write_csv(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path)?;
+    f.write_all(contents.as_bytes())?;
+    Ok(path)
+}
+
+/// Helper for binaries: write a CSV and print where it went; swallow (but
+/// report) I/O errors so a read-only filesystem does not kill an experiment.
+pub fn try_write_csv(name: &str, contents: &str) {
+    match write_csv(name, contents) {
+        Ok(path) => println!("  -> wrote {}", path.display()),
+        Err(e) => eprintln!("  (could not write {name}: {e})"),
+    }
+}
+
+/// Format seconds with a sensible precision for report tables.
+pub fn fmt_secs(s: f64) -> String {
+    if s.is_infinite() {
+        "n/a".to_string()
+    } else if s >= 100.0 {
+        format!("{s:.0}")
+    } else {
+        format!("{s:.1}")
+    }
+}
+
+/// Format an `Option<f64>` time, printing `n/a` for `None`.
+pub fn fmt_opt_secs(s: Option<f64>) -> String {
+    s.map(fmt_secs).unwrap_or_else(|| "n/a".to_string())
+}
+
+/// Check that a path is inside the results directory (sanity helper used by
+/// tests to avoid writing anywhere surprising).
+pub fn is_in_results_dir(path: &Path) -> bool {
+    path.starts_with(results_dir())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("demo", &["mechanism", "time"]);
+        t.add_row(vec!["Air-FedGA".into(), "1077".into()]);
+        t.add_row(vec!["FedAvg".into(), "13755".into()]);
+        let text = t.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("Air-FedGA"));
+        assert_eq!(t.num_rows(), 2);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("mechanism,time\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new("x", &["a", "b", "c"]);
+        t.add_row(vec!["only-one".into()]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    #[should_panic(expected = "more cells")]
+    fn long_rows_are_rejected() {
+        let mut t = Table::new("x", &["a"]);
+        t.add_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(1234.56), "1235");
+        assert_eq!(fmt_secs(12.34), "12.3");
+        assert_eq!(fmt_opt_secs(None), "n/a");
+        assert_eq!(fmt_opt_secs(Some(50.0)), "50.0");
+        assert!(is_in_results_dir(&results_dir().join("x.csv")));
+    }
+}

@@ -1,0 +1,50 @@
+//! # fedml — federated-learning ML substrate
+//!
+//! A dependency-light, pure-Rust machine-learning substrate used by the Air-FedGA
+//! reproduction. The paper trains logistic regression, small CNNs and VGG-16 with
+//! PyTorch; this crate provides the equivalent *training dynamics* (differentiable
+//! models, SGD, cross-entropy loss, accuracy evaluation) together with synthetic
+//! datasets and the Non-IID label-skew partitioner described in §VI.A of the paper.
+//!
+//! The crate is deliberately self-contained: dense linear algebra lives in
+//! [`linalg`], flat parameter-vector arithmetic (the representation transmitted
+//! over the air) in [`params`], models in [`model`], datasets and partitioning in
+//! [`dataset`] / [`partition`], and the local SGD update of Eq. (4) in
+//! [`optimizer`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fedml::dataset::SyntheticSpec;
+//! use fedml::model::{Mlp, Model};
+//! use fedml::optimizer::SgdConfig;
+//! use fedml::rng::Rng64;
+//!
+//! let mut rng = Rng64::seed_from(7);
+//! let data = SyntheticSpec::mnist_like().with_samples_per_class(30).generate(&mut rng);
+//! let mut model = Mlp::new(data.num_features(), &[32], data.num_classes(), &mut rng);
+//! let cfg = SgdConfig { learning_rate: 0.1, batch_size: 16, local_epochs: 1 };
+//! let before = model.loss(&data);
+//! fedml::optimizer::local_update(&mut model, &data, &cfg, &mut rng);
+//! assert!(model.loss(&data) < before);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod linalg;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod optimizer;
+pub mod params;
+pub mod partition;
+pub mod rng;
+
+pub use dataset::{Dataset, SyntheticSpec};
+pub use model::{LogisticRegression, Mlp, Model};
+pub use optimizer::{local_update, SgdConfig};
+pub use params::FlatParams;
+pub use partition::{LabelDistribution, Partitioner};
+pub use rng::Rng64;

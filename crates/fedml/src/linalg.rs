@@ -1,0 +1,300 @@
+//! Minimal dense linear algebra.
+//!
+//! The models in this reproduction are multinomial logistic regression and
+//! multi-layer perceptrons; everything they need is a row-major dense
+//! [`Matrix`] with matrix–vector products, rank-one updates and a handful of
+//! element-wise helpers. Keeping this in-tree (rather than pulling in a BLAS
+//! wrapper) keeps the workspace dependency-free and the numerics fully
+//! deterministic.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a zero-initialised matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Create a matrix from an existing row-major buffer.
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `y = self * x` (matrix–vector product). `x.len()` must equal `cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// `y = selfᵀ * x` (transposed matrix–vector product). `x.len()` must equal `rows`.
+    pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_transposed dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for (yc, a) in y.iter_mut().zip(row.iter()) {
+                *yc += a * xr;
+            }
+        }
+        y
+    }
+
+    /// Rank-one update `self += alpha * u * vᵀ` where `u.len() == rows` and
+    /// `v.len() == cols`. This is the shape of every gradient contribution of
+    /// a dense layer, so it is the hot loop of local training.
+    pub fn rank_one_update(&mut self, alpha: f64, u: &[f64], v: &[f64]) {
+        assert_eq!(u.len(), self.rows, "rank_one_update row mismatch");
+        assert_eq!(v.len(), self.cols, "rank_one_update col mismatch");
+        for r in 0..self.rows {
+            let ur = alpha * u[r];
+            if ur == 0.0 {
+                continue;
+            }
+            let row = self.row_mut(r);
+            for (m, vv) in row.iter_mut().zip(v.iter()) {
+                *m += ur * vv;
+            }
+        }
+    }
+
+    /// In-place scale of every element.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_sq(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot dimension mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// In-place `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy dimension mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Squared L2 norm of a slice.
+#[inline]
+pub fn norm_sq(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// L2 norm of a slice.
+#[inline]
+pub fn norm(x: &[f64]) -> f64 {
+    norm_sq(x).sqrt()
+}
+
+/// Numerically stable softmax over a slice of logits.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Element-wise ReLU applied in place; returns a mask of which entries were
+/// positive (needed by the backward pass).
+pub fn relu_in_place(x: &mut [f64]) -> Vec<bool> {
+    let mut mask = Vec::with_capacity(x.len());
+    for v in x.iter_mut() {
+        if *v > 0.0 {
+            mask.push(true);
+        } else {
+            *v = 0.0;
+            mask.push(false);
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_identity() {
+        let eye = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let x = vec![1.0, -2.0, 3.5];
+        assert_eq!(eye.matvec(&x), x);
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = m.matvec(&[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_matches_manual() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = m.matvec_transposed(&[2.0, -1.0]);
+        assert_eq!(y, vec![2.0 - 4.0, 4.0 - 5.0, 6.0 - 6.0]);
+    }
+
+    #[test]
+    fn rank_one_update_matches_outer_product() {
+        let mut m = Matrix::zeros(2, 2);
+        m.rank_one_update(2.0, &[1.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(m.as_slice(), &[8.0, 10.0, 24.0, 30.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1000.0, 999.0]);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&v| v.is_finite() && v >= 0.0));
+        assert!(p[0] > p[2]);
+    }
+
+    #[test]
+    fn softmax_uniform_for_equal_logits() {
+        let p = softmax(&[0.5; 4]);
+        for v in p {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut x = vec![-1.0, 0.0, 2.0];
+        let mask = relu_in_place(&mut x);
+        assert_eq!(x, vec![0.0, 0.0, 2.0]);
+        assert_eq!(mask, vec![false, false, true]);
+    }
+
+    #[test]
+    fn axpy_and_dot_are_consistent() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![1.0, 1.0, 1.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, vec![1.5, 2.0, 2.5]);
+        assert!((dot(&x, &y) - (1.5 + 4.0 + 7.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_rejects_bad_dims() {
+        let m = Matrix::zeros(2, 3);
+        let _ = m.matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn frobenius_and_scale() {
+        let mut m = Matrix::from_vec(1, 3, vec![1.0, 2.0, 2.0]);
+        assert_eq!(m.frobenius_sq(), 9.0);
+        m.scale(2.0);
+        assert_eq!(m.frobenius_sq(), 36.0);
+    }
+}

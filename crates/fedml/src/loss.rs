@@ -1,0 +1,100 @@
+//! Cross-entropy loss for multi-class classification.
+//!
+//! The paper uses the standard softmax cross-entropy loss (Eq. (1)–(2)). This
+//! module provides the per-sample loss and its gradient with respect to the
+//! logits, which every model's backward pass starts from.
+
+use crate::linalg::softmax;
+
+/// Softmax cross-entropy loss of a single sample.
+///
+/// Returns `-log p_label(x)` where `p` is the softmax of `logits`. The result
+/// is clamped away from infinity for numerical robustness.
+pub fn cross_entropy(logits: &[f64], label: usize) -> f64 {
+    assert!(label < logits.len(), "label out of range");
+    let p = softmax(logits);
+    -(p[label].max(1e-15)).ln()
+}
+
+/// Gradient of the softmax cross-entropy loss with respect to the logits:
+/// `softmax(logits) - onehot(label)`.
+pub fn cross_entropy_grad(logits: &[f64], label: usize) -> Vec<f64> {
+    assert!(label < logits.len(), "label out of range");
+    let mut g = softmax(logits);
+    g[label] -= 1.0;
+    g
+}
+
+/// Loss and gradient in one pass (avoids computing the softmax twice).
+pub fn cross_entropy_with_grad(logits: &[f64], label: usize) -> (f64, Vec<f64>) {
+    assert!(label < logits.len(), "label out of range");
+    let mut p = softmax(logits);
+    let loss = -(p[label].max(1e-15)).ln();
+    p[label] -= 1.0;
+    (loss, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_ln_k_for_uniform_logits() {
+        let logits = [0.0; 10];
+        let l = cross_entropy(&logits, 3);
+        assert!((l - (10.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_decreases_when_correct_logit_grows() {
+        let mut logits = [0.0; 5];
+        let l0 = cross_entropy(&logits, 2);
+        logits[2] = 3.0;
+        let l1 = cross_entropy(&logits, 2);
+        assert!(l1 < l0);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let logits = [0.3, -1.2, 2.0, 0.0];
+        let g = cross_entropy_grad(&logits, 1);
+        let sum: f64 = g.iter().sum();
+        assert!(sum.abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = vec![0.5, -0.2, 1.3];
+        let label = 2;
+        let g = cross_entropy_grad(&logits, label);
+        let eps = 1e-6;
+        for i in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus[i] += eps;
+            let mut minus = logits.clone();
+            minus[i] -= eps;
+            let fd = (cross_entropy(&plus, label) - cross_entropy(&minus, label)) / (2.0 * eps);
+            assert!(
+                (fd - g[i]).abs() < 1e-6,
+                "finite difference {fd} != analytic {g:?}[{i}]"
+            );
+        }
+    }
+
+    #[test]
+    fn combined_matches_separate_calls() {
+        let logits = [1.0, 2.0, -0.5];
+        let (l, g) = cross_entropy_with_grad(&logits, 0);
+        assert!((l - cross_entropy(&logits, 0)).abs() < 1e-12);
+        let g2 = cross_entropy_grad(&logits, 0);
+        for (a, b) in g.iter().zip(g2.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_label() {
+        let _ = cross_entropy(&[0.0, 0.0], 2);
+    }
+}

@@ -1,0 +1,632 @@
+//! Differentiable classification models.
+//!
+//! The paper trains three architectures (logistic regression, plain CNNs and
+//! VGG-16). The mechanisms under study never look inside the architecture —
+//! they only exchange the flattened parameter vector — so this module provides
+//! two pure-Rust model families that reproduce the relevant training dynamics:
+//!
+//! * [`LogisticRegression`]: multinomial logistic regression with optional L2
+//!   regularisation. Its loss is smooth and (with regularisation) strongly
+//!   convex, i.e. it satisfies Assumptions 1–2 of the paper exactly, which
+//!   makes it the right model for validating Theorem 1 numerically.
+//! * [`Mlp`]: a fully-connected ReLU network of arbitrary depth. The paper's
+//!   "LR" on MNIST is itself a 2×512-unit MLP; the CNN and VGG-16 workloads
+//!   are represented by deeper/wider MLP surrogates (constructors
+//!   [`Mlp::paper_lr`], [`Mlp::cnn_mnist_surrogate`],
+//!   [`Mlp::cnn_cifar_surrogate`], [`Mlp::vgg16_surrogate`]).
+
+use crate::dataset::Dataset;
+use crate::linalg::{relu_in_place, Matrix};
+use crate::loss::cross_entropy_with_grad;
+use crate::params::FlatParams;
+use crate::rng::Rng64;
+
+/// A differentiable multi-class classifier whose parameters can be flattened
+/// into a [`FlatParams`] vector for over-the-air transmission.
+pub trait Model: Send {
+    /// Total number of scalar parameters `q` (the transmitted dimension).
+    fn num_params(&self) -> usize;
+
+    /// Flatten the current parameters.
+    fn params(&self) -> FlatParams;
+
+    /// Overwrite the parameters from a flat vector. Panics on dimension
+    /// mismatch.
+    fn set_params(&mut self, params: &FlatParams);
+
+    /// Average loss and average gradient over the given sample indices of
+    /// `data`. Panics if `indices` is empty.
+    fn loss_and_gradient(&self, data: &Dataset, indices: &[usize]) -> (f64, FlatParams);
+
+    /// Predicted class of a single feature vector.
+    fn predict(&self, x: &[f64]) -> usize;
+
+    /// Clone into a boxed trait object (mechanisms keep one model instance
+    /// per worker).
+    fn clone_model(&self) -> Box<dyn Model>;
+
+    /// Average loss over an entire dataset (provided method).
+    fn loss(&self, data: &Dataset) -> f64 {
+        assert!(!data.is_empty(), "loss over an empty dataset");
+        let indices: Vec<usize> = (0..data.len()).collect();
+        self.loss_and_gradient(data, &indices).0
+    }
+
+    /// Average gradient over the given indices (provided method).
+    fn gradient(&self, data: &Dataset, indices: &[usize]) -> FlatParams {
+        self.loss_and_gradient(data, indices).1
+    }
+
+    /// Full-batch gradient over the entire dataset (the `∇f_i(w)` of Eq. (4)).
+    fn full_gradient(&self, data: &Dataset) -> FlatParams {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        self.gradient(data, &indices)
+    }
+
+    /// Classification accuracy on a dataset (provided method).
+    fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = (0..data.len())
+            .filter(|&i| self.predict(data.sample(i)) == data.label(i))
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+impl Clone for Box<dyn Model> {
+    fn clone(&self) -> Self {
+        self.clone_model()
+    }
+}
+
+/// Multinomial logistic regression with optional L2 (ridge) regularisation.
+///
+/// With `l2 > 0` the loss is `l2`-strongly convex and `(L_max + l2)`-smooth,
+/// satisfying Assumptions 1–2 of the paper, so Theorem 1 applies exactly.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Matrix, // classes x features
+    bias: Vec<f64>,
+    l2: f64,
+}
+
+impl LogisticRegression {
+    /// Create a zero-initialised model (zero initialisation is the global
+    /// optimum basin for convex losses, and matches the paper's `w_0`).
+    pub fn new(num_features: usize, num_classes: usize) -> Self {
+        Self {
+            weights: Matrix::zeros(num_classes, num_features),
+            bias: vec![0.0; num_classes],
+            l2: 0.0,
+        }
+    }
+
+    /// Set the L2 regularisation strength (builder-style).
+    pub fn with_l2(mut self, l2: f64) -> Self {
+        assert!(l2 >= 0.0, "l2 must be non-negative");
+        self.l2 = l2;
+        self
+    }
+
+    /// The L2 regularisation strength.
+    pub fn l2(&self) -> f64 {
+        self.l2
+    }
+
+    fn logits(&self, x: &[f64]) -> Vec<f64> {
+        let mut z = self.weights.matvec(x);
+        for (zi, b) in z.iter_mut().zip(self.bias.iter()) {
+            *zi += b;
+        }
+        z
+    }
+
+    fn num_classes(&self) -> usize {
+        self.bias.len()
+    }
+
+    fn num_features(&self) -> usize {
+        self.weights.cols()
+    }
+}
+
+impl Model for LogisticRegression {
+    fn num_params(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    fn params(&self) -> FlatParams {
+        let mut v = Vec::with_capacity(self.num_params());
+        v.extend_from_slice(self.weights.as_slice());
+        v.extend_from_slice(&self.bias);
+        FlatParams(v)
+    }
+
+    fn set_params(&mut self, params: &FlatParams) {
+        assert_eq!(params.dim(), self.num_params(), "parameter size mismatch");
+        let wlen = self.weights.rows() * self.weights.cols();
+        self.weights
+            .as_mut_slice()
+            .copy_from_slice(&params.0[..wlen]);
+        self.bias.copy_from_slice(&params.0[wlen..]);
+    }
+
+    fn loss_and_gradient(&self, data: &Dataset, indices: &[usize]) -> (f64, FlatParams) {
+        assert!(!indices.is_empty(), "gradient over an empty batch");
+        assert_eq!(
+            data.num_features(),
+            self.num_features(),
+            "dataset feature dimension mismatch"
+        );
+        let k = self.num_classes();
+        let d = self.num_features();
+        let mut grad_w = Matrix::zeros(k, d);
+        let mut grad_b = vec![0.0; k];
+        let mut total_loss = 0.0;
+        let inv_n = 1.0 / indices.len() as f64;
+        for &i in indices {
+            let x = data.sample(i);
+            let (loss, dlogits) = cross_entropy_with_grad(&self.logits(x), data.label(i));
+            total_loss += loss;
+            grad_w.rank_one_update(inv_n, &dlogits, x);
+            for (gb, dl) in grad_b.iter_mut().zip(dlogits.iter()) {
+                *gb += inv_n * dl;
+            }
+        }
+        let mut loss = total_loss * inv_n;
+        // L2 regularisation on the weight matrix (not the bias).
+        if self.l2 > 0.0 {
+            loss += 0.5 * self.l2 * self.weights.frobenius_sq();
+            for (g, w) in grad_w
+                .as_mut_slice()
+                .iter_mut()
+                .zip(self.weights.as_slice().iter())
+            {
+                *g += self.l2 * w;
+            }
+        }
+        let mut flat = Vec::with_capacity(self.num_params());
+        flat.extend_from_slice(grad_w.as_slice());
+        flat.extend_from_slice(&grad_b);
+        (loss, FlatParams(flat))
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        let z = self.logits(x);
+        argmax(&z)
+    }
+
+    fn clone_model(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+/// One dense layer of an [`Mlp`].
+#[derive(Debug, Clone)]
+struct DenseLayer {
+    weights: Matrix, // out x in
+    bias: Vec<f64>,
+}
+
+impl DenseLayer {
+    fn new(input: usize, output: usize, rng: &mut Rng64) -> Self {
+        // He initialisation, appropriate for ReLU activations.
+        let std = (2.0 / input as f64).sqrt();
+        Self {
+            weights: Matrix::from_fn(output, input, |_, _| rng.gaussian_with(0.0, std)),
+            bias: vec![0.0; output],
+        }
+    }
+
+    fn num_params(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut z = self.weights.matvec(x);
+        for (zi, b) in z.iter_mut().zip(self.bias.iter()) {
+            *zi += b;
+        }
+        z
+    }
+}
+
+/// A fully-connected ReLU network with a softmax cross-entropy head.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+    num_features: usize,
+    num_classes: usize,
+}
+
+impl Mlp {
+    /// Create an MLP with the given hidden-layer widths. `hidden` may be
+    /// empty, in which case the model degenerates to (unregularised)
+    /// multinomial logistic regression.
+    pub fn new(
+        num_features: usize,
+        hidden: &[usize],
+        num_classes: usize,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(num_features > 0 && num_classes > 1, "degenerate model shape");
+        let mut sizes = Vec::with_capacity(hidden.len() + 2);
+        sizes.push(num_features);
+        sizes.extend_from_slice(hidden);
+        sizes.push(num_classes);
+        let layers = sizes
+            .windows(2)
+            .map(|w| DenseLayer::new(w[0], w[1], rng))
+            .collect();
+        Self {
+            layers,
+            num_features,
+            num_classes,
+        }
+    }
+
+    /// The paper's "LR" workload for MNIST: a fully-connected network with
+    /// two hidden layers (scaled down from 512 to keep the simulation
+    /// laptop-sized; the width is configurable through [`Mlp::new`]).
+    pub fn paper_lr(num_features: usize, num_classes: usize, rng: &mut Rng64) -> Self {
+        Self::new(num_features, &[64, 64], num_classes, rng)
+    }
+
+    /// Surrogate for the paper's MNIST CNN (two conv + two dense layers).
+    pub fn cnn_mnist_surrogate(num_features: usize, num_classes: usize, rng: &mut Rng64) -> Self {
+        Self::new(num_features, &[128, 64], num_classes, rng)
+    }
+
+    /// Surrogate for the paper's CIFAR-10 CNN.
+    pub fn cnn_cifar_surrogate(num_features: usize, num_classes: usize, rng: &mut Rng64) -> Self {
+        Self::new(num_features, &[160, 96], num_classes, rng)
+    }
+
+    /// Surrogate for VGG-16 on ImageNet-100: the deepest and widest MLP.
+    pub fn vgg16_surrogate(num_features: usize, num_classes: usize, rng: &mut Rng64) -> Self {
+        Self::new(num_features, &[256, 128, 64], num_classes, rng)
+    }
+
+    /// Number of layers (hidden + output).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input feature dimensionality the network expects.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Forward pass of one sample, returning the activations of every layer
+    /// input plus the final logits, and the ReLU masks. Needed by backprop.
+    fn forward_trace(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<bool>>, Vec<f64>) {
+        let mut activations: Vec<Vec<f64>> = vec![x.to_vec()];
+        let mut masks: Vec<Vec<bool>> = Vec::with_capacity(self.layers.len().saturating_sub(1));
+        let mut current = x.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut z = layer.forward(&current);
+            if li + 1 < self.layers.len() {
+                let mask = relu_in_place(&mut z);
+                masks.push(mask);
+                activations.push(z.clone());
+                current = z;
+            } else {
+                return (activations, masks, z);
+            }
+        }
+        unreachable!("an Mlp always has at least one layer");
+    }
+}
+
+impl Model for Mlp {
+    fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    fn params(&self) -> FlatParams {
+        let mut v = Vec::with_capacity(self.num_params());
+        for l in &self.layers {
+            v.extend_from_slice(l.weights.as_slice());
+            v.extend_from_slice(&l.bias);
+        }
+        FlatParams(v)
+    }
+
+    fn set_params(&mut self, params: &FlatParams) {
+        assert_eq!(params.dim(), self.num_params(), "parameter size mismatch");
+        let mut offset = 0;
+        for l in &mut self.layers {
+            let wlen = l.weights.rows() * l.weights.cols();
+            l.weights
+                .as_mut_slice()
+                .copy_from_slice(&params.0[offset..offset + wlen]);
+            offset += wlen;
+            let blen = l.bias.len();
+            l.bias.copy_from_slice(&params.0[offset..offset + blen]);
+            offset += blen;
+        }
+        debug_assert_eq!(offset, params.dim());
+    }
+
+    fn loss_and_gradient(&self, data: &Dataset, indices: &[usize]) -> (f64, FlatParams) {
+        assert!(!indices.is_empty(), "gradient over an empty batch");
+        assert_eq!(
+            data.num_features(),
+            self.num_features,
+            "dataset feature dimension mismatch"
+        );
+        let inv_n = 1.0 / indices.len() as f64;
+        let mut grads: Vec<(Matrix, Vec<f64>)> = self
+            .layers
+            .iter()
+            .map(|l| {
+                (
+                    Matrix::zeros(l.weights.rows(), l.weights.cols()),
+                    vec![0.0; l.bias.len()],
+                )
+            })
+            .collect();
+        let mut total_loss = 0.0;
+        for &i in indices {
+            let x = data.sample(i);
+            let (activations, masks, logits) = self.forward_trace(x);
+            let (loss, mut delta) = cross_entropy_with_grad(&logits, data.label(i));
+            total_loss += loss;
+            // Backward pass.
+            for li in (0..self.layers.len()).rev() {
+                let input = &activations[li];
+                let (gw, gb) = &mut grads[li];
+                gw.rank_one_update(inv_n, &delta, input);
+                for (b, d) in gb.iter_mut().zip(delta.iter()) {
+                    *b += inv_n * d;
+                }
+                if li > 0 {
+                    // Propagate through the layer weights, then the ReLU mask
+                    // of the previous hidden activation.
+                    let mut prev = self.layers[li].weights.matvec_transposed(&delta);
+                    for (p, &m) in prev.iter_mut().zip(masks[li - 1].iter()) {
+                        if !m {
+                            *p = 0.0;
+                        }
+                    }
+                    delta = prev;
+                }
+            }
+        }
+        let mut flat = Vec::with_capacity(self.num_params());
+        for (gw, gb) in &grads {
+            flat.extend_from_slice(gw.as_slice());
+            flat.extend_from_slice(gb);
+        }
+        (total_loss * inv_n, FlatParams(flat))
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        let (_, _, logits) = self.forward_trace(x);
+        argmax(&logits)
+    }
+
+    fn clone_model(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Which model family an experiment uses. This mirrors the paper's
+/// model/dataset pairs and lets the experiment harness construct the right
+/// surrogate from a single enum value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// The paper's "LR" (2-hidden-layer fully-connected network) on MNIST.
+    PaperLr,
+    /// CNN surrogate for MNIST.
+    CnnMnist,
+    /// CNN surrogate for CIFAR-10.
+    CnnCifar,
+    /// VGG-16 surrogate for ImageNet-100.
+    Vgg16,
+    /// Plain convex multinomial logistic regression (used for Theorem-1
+    /// validation, not a paper workload).
+    ConvexLr,
+}
+
+impl ModelKind {
+    /// Build the model for a dataset of the given shape.
+    pub fn build(self, num_features: usize, num_classes: usize, rng: &mut Rng64) -> Box<dyn Model> {
+        match self {
+            ModelKind::PaperLr => Box::new(Mlp::paper_lr(num_features, num_classes, rng)),
+            ModelKind::CnnMnist => Box::new(Mlp::cnn_mnist_surrogate(num_features, num_classes, rng)),
+            ModelKind::CnnCifar => Box::new(Mlp::cnn_cifar_surrogate(num_features, num_classes, rng)),
+            ModelKind::Vgg16 => Box::new(Mlp::vgg16_surrogate(num_features, num_classes, rng)),
+            ModelKind::ConvexLr => {
+                Box::new(LogisticRegression::new(num_features, num_classes).with_l2(1e-3))
+            }
+        }
+    }
+
+    /// Human-readable label used in experiment reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::PaperLr => "LR (2x hidden FC)",
+            ModelKind::CnnMnist => "CNN (MNIST surrogate)",
+            ModelKind::CnnCifar => "CNN (CIFAR-10 surrogate)",
+            ModelKind::Vgg16 => "VGG-16 surrogate",
+            ModelKind::ConvexLr => "convex logistic regression",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticSpec;
+
+    fn toy_data() -> Dataset {
+        let mut rng = Rng64::seed_from(99);
+        SyntheticSpec::mnist_like()
+            .with_samples_per_class(8)
+            .generate(&mut rng)
+    }
+
+    #[test]
+    fn logreg_param_roundtrip() {
+        let data = toy_data();
+        let mut m = LogisticRegression::new(data.num_features(), data.num_classes());
+        let mut p = m.params();
+        assert_eq!(p.dim(), m.num_params());
+        let last = p.dim() - 1;
+        p.0[0] = 3.5;
+        p.0[last] = -1.25;
+        m.set_params(&p);
+        assert_eq!(m.params(), p);
+    }
+
+    #[test]
+    fn mlp_param_roundtrip() {
+        let mut rng = Rng64::seed_from(1);
+        let mut m = Mlp::new(8, &[5, 4], 3, &mut rng);
+        let p = m.params();
+        assert_eq!(p.dim(), m.num_params());
+        assert_eq!(p.dim(), (8 * 5 + 5) + (5 * 4 + 4) + (4 * 3 + 3));
+        let mut q = p.clone();
+        q.scale(0.5);
+        m.set_params(&q);
+        assert_eq!(m.params(), q);
+    }
+
+    #[test]
+    fn logreg_gradient_matches_finite_difference() {
+        let data = toy_data();
+        let mut rng = Rng64::seed_from(2);
+        let mut m = LogisticRegression::new(data.num_features(), data.num_classes()).with_l2(0.01);
+        // Random starting point so gradients are non-trivial.
+        let mut p = m.params();
+        for v in p.0.iter_mut() {
+            *v = rng.gaussian_with(0.0, 0.1);
+        }
+        m.set_params(&p);
+        let indices: Vec<usize> = (0..10).collect();
+        let (_, g) = m.loss_and_gradient(&data, &indices);
+        let eps = 1e-5;
+        // Spot-check a handful of coordinates.
+        for &coord in &[0usize, 7, 63, 100, p.dim() - 1] {
+            let mut plus = p.clone();
+            plus.0[coord] += eps;
+            let mut minus = p.clone();
+            minus.0[coord] -= eps;
+            let mut mp = m.clone();
+            mp.set_params(&plus);
+            let mut mm = m.clone();
+            mm.set_params(&minus);
+            let fd = (mp.loss_and_gradient(&data, &indices).0
+                - mm.loss_and_gradient(&data, &indices).0)
+                / (2.0 * eps);
+            assert!(
+                (fd - g.0[coord]).abs() < 1e-5,
+                "coord {coord}: fd {fd} vs analytic {}",
+                g.0[coord]
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_gradient_matches_finite_difference() {
+        let data = toy_data();
+        let mut rng = Rng64::seed_from(3);
+        let m = Mlp::new(data.num_features(), &[6], data.num_classes(), &mut rng);
+        let p = m.params();
+        let indices: Vec<usize> = (0..6).collect();
+        let (_, g) = m.loss_and_gradient(&data, &indices);
+        let eps = 1e-5;
+        for &coord in &[0usize, 11, 101, p.dim() - 1] {
+            let mut plus = p.clone();
+            plus.0[coord] += eps;
+            let mut minus = p.clone();
+            minus.0[coord] -= eps;
+            let mut mp = m.clone();
+            mp.set_params(&plus);
+            let mut mm = m.clone();
+            mm.set_params(&minus);
+            let fd = (mp.loss_and_gradient(&data, &indices).0
+                - mm.loss_and_gradient(&data, &indices).0)
+                / (2.0 * eps);
+            assert!(
+                (fd - g.0[coord]).abs() < 1e-4,
+                "coord {coord}: fd {fd} vs analytic {}",
+                g.0[coord]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss_and_beats_chance() {
+        let data = toy_data();
+        let mut m = LogisticRegression::new(data.num_features(), data.num_classes());
+        let initial_loss = m.loss(&data);
+        let indices: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..60 {
+            let g = m.gradient(&data, &indices);
+            let mut p = m.params();
+            p.axpy(-0.5, &g);
+            m.set_params(&p);
+        }
+        assert!(m.loss(&data) < initial_loss * 0.5);
+        assert!(m.accuracy(&data) > 0.5, "accuracy {}", m.accuracy(&data));
+    }
+
+    #[test]
+    fn mlp_trains_above_chance() {
+        let data = toy_data();
+        let mut rng = Rng64::seed_from(4);
+        let mut m = Mlp::new(data.num_features(), &[32], data.num_classes(), &mut rng);
+        let indices: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..80 {
+            let g = m.gradient(&data, &indices);
+            let mut p = m.params();
+            p.axpy(-0.2, &g);
+            m.set_params(&p);
+        }
+        assert!(m.accuracy(&data) > 0.5, "accuracy {}", m.accuracy(&data));
+    }
+
+    #[test]
+    fn zero_initialised_logreg_has_uniform_loss() {
+        let data = toy_data();
+        let m = LogisticRegression::new(data.num_features(), data.num_classes());
+        let expected = (data.num_classes() as f64).ln();
+        assert!((m.loss(&data) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_kind_builds_expected_sizes() {
+        let mut rng = Rng64::seed_from(5);
+        let small = ModelKind::PaperLr.build(64, 10, &mut rng);
+        let big = ModelKind::Vgg16.build(64, 10, &mut rng);
+        assert!(big.num_params() > small.num_params());
+        assert!(!ModelKind::CnnCifar.label().is_empty());
+    }
+
+    #[test]
+    fn clone_model_preserves_params() {
+        let mut rng = Rng64::seed_from(6);
+        let m = Mlp::new(10, &[4], 3, &mut rng);
+        let c = m.clone_model();
+        assert_eq!(c.params(), m.params());
+    }
+}

@@ -1,0 +1,195 @@
+//! Deterministic random-number helpers.
+//!
+//! All stochastic components of the reproduction (synthetic data, channel
+//! fading, heterogeneity factors, SGD mini-batch sampling) draw from a
+//! [`Rng64`], a thin wrapper over a seeded [`rand::rngs::StdRng`] augmented
+//! with Gaussian sampling via the Box–Muller transform so that we do not need
+//! the `rand_distr` crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic 64-bit-seeded random number generator used across the
+/// workspace.
+///
+/// Wrapping a concrete RNG type in our own struct keeps the public API of the
+/// substrate crates independent of the `rand` crate version and centralises
+/// the Gaussian sampling logic.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    inner: StdRng,
+    /// Cached second value of the most recent Box–Muller draw.
+    spare_gaussian: Option<f64>,
+}
+
+impl Rng64 {
+    /// Create a generator from a 64-bit seed. Equal seeds yield identical
+    /// streams on every platform.
+    pub fn seed_from(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            spare_gaussian: None,
+        }
+    }
+
+    /// Derive an independent child generator. Used to give each simulated
+    /// worker its own stream so that results do not depend on scheduling
+    /// order.
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let s = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::seed_from(s)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo, "uniform_range requires hi >= lo");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() requires a non-empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Standard-normal draw via the Box–Muller transform.
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare_gaussian.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms -> two independent standard normals.
+        let mut u1 = self.uniform();
+        // Guard against log(0).
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_gaussian = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn gaussian_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        debug_assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Sample from an exponential distribution with the given rate parameter.
+    /// Used by the Rayleigh fading model (|h|² is exponential).
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let mut u = self.uniform();
+        if u <= f64::MIN_POSITIVE {
+            u = f64::MIN_POSITIVE;
+        }
+        -u.ln() / rate
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        if xs.len() < 2 {
+            return;
+        }
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `0..n` (k <= n), in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} items from a population of {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::seed_from(42);
+        let mut b = Rng64::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::seed_from(1);
+        let mut b = Rng64::seed_from(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = Rng64::seed_from(7);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn uniform_range_respects_bounds() {
+        let mut rng = Rng64::seed_from(3);
+        for _ in 0..1000 {
+            let x = rng.uniform_range(1.0, 10.0);
+            assert!((1.0..10.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = Rng64::seed_from(11);
+        let n = 40_000;
+        let mean = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "exponential(2) mean {mean} != 0.5");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng64::seed_from(5);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_in_range() {
+        let mut rng = Rng64::seed_from(9);
+        let idx = rng.sample_indices(100, 30);
+        assert_eq!(idx.len(), 30);
+        let mut uniq = idx.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 30);
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = Rng64::seed_from(13);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(2);
+        let equal = (0..64).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(equal < 4);
+    }
+}

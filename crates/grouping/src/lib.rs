@@ -1,0 +1,33 @@
+//! # grouping — worker grouping for Air-FedGA
+//!
+//! Implements §V of the paper:
+//!
+//! * [`emd`] — the earth-mover distance `Λ_j = Σ_k |λ_k − β_j^k|` between a
+//!   group's label distribution and the global one (Eq. (11)), the quantity
+//!   Corollary 1 ties to the convergence residual and Table III reports.
+//! * [`objective`] — the training-time objective `L(x)·(1 + τ̂_max)·log_B A`
+//!   of problem (P2)/(P4) (Eq. (33)–(35), (39), (40a)) and the ξ-constraint
+//!   of Eq. (36d).
+//! * [`greedy`] — Algorithm 3: the greedy worker-grouping heuristic that
+//!   assigns workers (sorted by data size) to the group minimising the
+//!   current objective, opening a new group when that is better.
+//! * [`tifl`] — the TiFL-style latency-tier grouping used as a baseline.
+//!
+//! The central data types are [`WorkerInfo`] (what the grouping algorithms
+//! know about a worker: latency, data size, label counts) and [`Grouping`]
+//! (a validated partition of workers into groups).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod emd;
+pub mod greedy;
+pub mod objective;
+pub mod tifl;
+pub mod worker_info;
+
+pub use emd::{average_group_emd, group_emd};
+pub use greedy::{greedy_grouping, GreedyGroupingConfig};
+pub use objective::{GroupingObjective, ObjectiveConstants};
+pub use tifl::tifl_grouping;
+pub use worker_info::{Grouping, WorkerInfo};

@@ -1,0 +1,28 @@
+//! # simcore — discrete-event simulation engine
+//!
+//! The paper evaluates federated-learning mechanisms on *wall-clock training
+//! time* under edge heterogeneity. Its own methodology (§VI.A.2) is a
+//! simulation: 100 virtual workers share one workstation, their local-training
+//! times are scaled by heterogeneity factors `κ_i ~ U[1, 10]`, and a
+//! "dynamically maintained list" of completion times decides when each group
+//! aggregates. This crate provides that machinery in virtual time:
+//!
+//! * [`events`] — a deterministic discrete-event queue keyed on virtual time.
+//! * [`worker`] — per-worker profiles (data size, base training cost,
+//!   heterogeneity factor) and the `l_i = κ_i · l̂_i` latency model.
+//! * [`trace`] — time-series recording of loss/accuracy/energy so that the
+//!   experiment harness can regenerate the paper's figures.
+//!
+//! Virtual time makes runs deterministic and lets a laptop sweep worker
+//! populations that the paper needed a GPU workstation for.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod events;
+pub mod trace;
+pub mod worker;
+
+pub use events::EventQueue;
+pub use trace::{TracePoint, TrainingTrace};
+pub use worker::{HeterogeneityModel, WorkerProfile};

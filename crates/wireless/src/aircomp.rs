@@ -1,0 +1,262 @@
+//! Over-the-air aggregation over a noisy fading MAC.
+//!
+//! When the workers of group `V_{j_t}` transmit simultaneously, each applies
+//! the channel-inverting power rule of Eq. (6) (`p_i^t = d_i σ_t / h_i^t`), so
+//! the signal received by the parameter server is the superposition of
+//! Eq. (9):
+//!
+//! ```text
+//! y_t = Σ_{v_i ∈ V_{j_t}} d_i σ_t w_i^t + z_t,      z_t ~ N(0, σ₀² I)
+//! ```
+//!
+//! The parameter server forms the denoised group estimate
+//! `w̃_j^t = y_t / (D_{j_t} √η_t)` which plugs into the asynchronous global
+//! update of Eq. (10) / Eq. (16). This module performs that computation and
+//! reports the per-round aggregation error `ε_j^t` (Eq. (17)) and the energy
+//! spent by each worker (Eq. (7)).
+
+use crate::energy::transmit_energy;
+use crate::power::transmit_power;
+use fedml::params::FlatParams;
+use fedml::rng::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// One worker's contribution to an over-the-air aggregation.
+#[derive(Debug, Clone)]
+pub struct AirAggregationInput<'a> {
+    /// Worker data size `d_i` (the aggregation weight numerator).
+    pub data_size: f64,
+    /// Channel gain `h_i^t` for this round.
+    pub channel_gain: f64,
+    /// The worker's local model `w_i^t`.
+    pub params: &'a FlatParams,
+}
+
+/// Result of one over-the-air aggregation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AirAggregationResult {
+    /// The denoised group estimate `w̃_j^t = y_t / (D_j √η_t)`.
+    pub group_estimate: FlatParams,
+    /// The ideal (error-free) group model `Σ (d_i/D_j) w_i^t` of Eq. (15).
+    pub ideal_group_model: FlatParams,
+    /// Squared L2 norm of the aggregation error `ε_j^t` (Eq. (17)).
+    pub error_norm_sq: f64,
+    /// Energy `E_i^t` spent by each participating worker (Eq. (7)).
+    pub per_worker_energy: Vec<f64>,
+    /// Total data size `D_{j_t}` of the participants.
+    pub group_data_size: f64,
+}
+
+impl AirAggregationResult {
+    /// Mean squared error per model coordinate.
+    pub fn mse(&self) -> f64 {
+        self.error_norm_sq / self.group_estimate.dim() as f64
+    }
+
+    /// Total energy spent by the group in this aggregation.
+    pub fn total_energy(&self) -> f64 {
+        self.per_worker_energy.iter().sum()
+    }
+}
+
+/// Perform one over-the-air aggregation (Eq. (9) + the denoising of Eq. (10)).
+///
+/// * `sigma` / `eta` — the power-scaling and denoising factors chosen by
+///   Algorithm 2 for this round.
+/// * `noise_variance` — AWGN variance σ₀² at the server (0 disables noise).
+///
+/// Panics if the inputs are empty or have mismatched dimensions.
+pub fn air_aggregate(
+    inputs: &[AirAggregationInput<'_>],
+    sigma: f64,
+    eta: f64,
+    noise_variance: f64,
+    rng: &mut Rng64,
+) -> AirAggregationResult {
+    assert!(!inputs.is_empty(), "over-the-air aggregation with no workers");
+    assert!(sigma > 0.0, "sigma must be positive");
+    assert!(eta > 0.0, "eta must be positive");
+    assert!(noise_variance >= 0.0, "noise variance must be non-negative");
+    let dim = inputs[0].params.dim();
+    let group_data_size: f64 = inputs.iter().map(|c| c.data_size).sum();
+    assert!(group_data_size > 0.0, "group data size must be positive");
+
+    // Received superposed signal y_t = sum_i d_i sigma w_i + z_t.
+    let mut received = FlatParams::zeros(dim);
+    // Ideal group model sum_i (d_i / D_j) w_i.
+    let mut ideal = FlatParams::zeros(dim);
+    let mut per_worker_energy = Vec::with_capacity(inputs.len());
+    for c in inputs {
+        assert_eq!(c.params.dim(), dim, "parameter dimension mismatch");
+        assert!(c.data_size > 0.0, "worker data size must be positive");
+        received.axpy(c.data_size * sigma, c.params);
+        ideal.axpy(c.data_size / group_data_size, c.params);
+        let p = transmit_power(c.data_size, sigma, c.channel_gain);
+        per_worker_energy.push(transmit_energy(p, c.params));
+    }
+    if noise_variance > 0.0 {
+        let std = noise_variance.sqrt();
+        for v in received.as_mut_slice() {
+            *v += rng.gaussian_with(0.0, std);
+        }
+    }
+
+    // Denoised group estimate w~ = y / (D_j sqrt(eta)).
+    let mut group_estimate = received;
+    group_estimate.scale(1.0 / (group_data_size * eta.sqrt()));
+    let error_norm_sq = group_estimate.dist_sq(&ideal);
+
+    AirAggregationResult {
+        group_estimate,
+        ideal_group_model: ideal,
+        error_norm_sq,
+        per_worker_energy,
+        group_data_size,
+    }
+}
+
+/// Apply the asynchronous global update of Eq. (10)/(16):
+/// `w_t = (1 − β_j) w_{t−1} + β_j w̃_j^t` where `β_j = D_j / D`.
+pub fn apply_group_update(
+    global: &FlatParams,
+    group_estimate: &FlatParams,
+    group_data_size: f64,
+    total_data_size: f64,
+) -> FlatParams {
+    assert!(total_data_size > 0.0, "total data size must be positive");
+    assert!(
+        group_data_size > 0.0 && group_data_size <= total_data_size + 1e-9,
+        "group data size must lie in (0, D]"
+    );
+    let beta = group_data_size / total_data_size;
+    let mut out = global.clone();
+    out.scale(1.0 - beta);
+    out.axpy(beta, group_estimate);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(v: Vec<f64>) -> FlatParams {
+        FlatParams(v)
+    }
+
+    #[test]
+    fn noiseless_matched_factors_recover_ideal_average() {
+        // With z = 0 and sigma = sqrt(eta), w~ = sum d_i w_i / D exactly.
+        let a = params(vec![1.0, 0.0, 2.0]);
+        let b = params(vec![3.0, 4.0, -2.0]);
+        let inputs = vec![
+            AirAggregationInput {
+                data_size: 10.0,
+                channel_gain: 1.0,
+                params: &a,
+            },
+            AirAggregationInput {
+                data_size: 30.0,
+                channel_gain: 0.5,
+                params: &b,
+            },
+        ];
+        let mut rng = Rng64::seed_from(1);
+        let res = air_aggregate(&inputs, 2.0, 4.0, 0.0, &mut rng);
+        assert!(res.error_norm_sq < 1e-24, "error {}", res.error_norm_sq);
+        let expected = FlatParams::weighted_sum(&[(0.25, &a), (0.75, &b)]);
+        assert!(res.group_estimate.dist_sq(&expected) < 1e-24);
+        assert_eq!(res.group_data_size, 40.0);
+    }
+
+    #[test]
+    fn mismatched_factors_introduce_bias() {
+        let a = params(vec![1.0; 8]);
+        let inputs = vec![AirAggregationInput {
+            data_size: 5.0,
+            channel_gain: 1.0,
+            params: &a,
+        }];
+        let mut rng = Rng64::seed_from(2);
+        // sigma / sqrt(eta) = 0.5 -> estimate is half the ideal model.
+        let res = air_aggregate(&inputs, 1.0, 4.0, 0.0, &mut rng);
+        assert!(res.error_norm_sq > 0.0);
+        assert!((res.group_estimate.0[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_error_scales_inversely_with_group_size() {
+        // Same per-worker models; the larger group's denominator D_j is
+        // larger, so the noise-induced error shrinks.
+        let w = params(vec![0.5; 64]);
+        let mk = |n: usize| -> Vec<AirAggregationInput<'_>> {
+            (0..n)
+                .map(|_| AirAggregationInput {
+                    data_size: 100.0,
+                    channel_gain: 1.0,
+                    params: &w,
+                })
+                .collect()
+        };
+        let small_inputs = mk(2);
+        let large_inputs = mk(20);
+        let mut err_small = 0.0;
+        let mut err_large = 0.0;
+        for seed in 0..20 {
+            let mut rng = Rng64::seed_from(seed);
+            err_small += air_aggregate(&small_inputs, 1.0, 1.0, 1.0, &mut rng).error_norm_sq;
+            let mut rng = Rng64::seed_from(seed + 1000);
+            err_large += air_aggregate(&large_inputs, 1.0, 1.0, 1.0, &mut rng).error_norm_sq;
+        }
+        assert!(
+            err_large < err_small,
+            "large-group error {err_large} should be below small-group error {err_small}"
+        );
+    }
+
+    #[test]
+    fn energy_accounting_matches_eq7() {
+        let w = params(vec![2.0, 0.0]);
+        let inputs = vec![AirAggregationInput {
+            data_size: 4.0,
+            channel_gain: 2.0,
+            params: &w,
+        }];
+        let mut rng = Rng64::seed_from(3);
+        let res = air_aggregate(&inputs, 1.0, 1.0, 0.0, &mut rng);
+        // p = d*sigma/h = 2 ; E = ||p w||^2 = 4 * 4 = 16.
+        assert_eq!(res.per_worker_energy.len(), 1);
+        assert!((res.per_worker_energy[0] - 16.0).abs() < 1e-12);
+        assert!((res.total_energy() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_group_update_is_convex_combination() {
+        let global = params(vec![0.0, 0.0]);
+        let estimate = params(vec![1.0, 2.0]);
+        let updated = apply_group_update(&global, &estimate, 25.0, 100.0);
+        assert_eq!(updated.0, vec![0.25, 0.5]);
+        // Full participation replaces the global model entirely.
+        let replaced = apply_group_update(&global, &estimate, 100.0, 100.0);
+        assert_eq!(replaced.0, estimate.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no workers")]
+    fn rejects_empty_group() {
+        let mut rng = Rng64::seed_from(4);
+        let _ = air_aggregate(&[], 1.0, 1.0, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn mse_is_error_over_dimension() {
+        let w = params(vec![1.0; 10]);
+        let inputs = vec![AirAggregationInput {
+            data_size: 1.0,
+            channel_gain: 1.0,
+            params: &w,
+        }];
+        let mut rng = Rng64::seed_from(5);
+        let res = air_aggregate(&inputs, 1.0, 1.0, 0.5, &mut rng);
+        assert!((res.mse() - res.error_norm_sq / 10.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,150 @@
+//! Wireless channel gain models.
+//!
+//! The paper assumes the channel gain `h_i^t` between worker `v_i` and the
+//! parameter server stays constant within a communication round (block
+//! fading) and is known at both ends (needed for the power-scaling rule of
+//! Eq. (6)). We model Rayleigh block fading — `|h|` is Rayleigh distributed,
+//! equivalently `|h|²` is exponential — plus a deterministic variant for
+//! tests and ablations.
+
+use fedml::rng::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// A model of per-round channel gains for a population of workers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChannelModel {
+    /// Rayleigh block fading: per round, `h_i^t = sqrt(Exp(1)) * sqrt(mean_gain_i)`
+    /// where `mean_gain_i` captures the (distance-dependent) average path
+    /// gain of worker `i`. A floor keeps gains bounded away from zero so the
+    /// inverse-channel power rule of Eq. (6) stays finite.
+    Rayleigh {
+        /// Average power gain per worker (same value reused for all workers
+        /// if the vector is shorter than the worker count).
+        mean_gains: Vec<f64>,
+        /// Lower bound on the realised gain (deep-fade clipping).
+        floor: f64,
+    },
+    /// Deterministic static gains — useful for unit tests and for isolating
+    /// the effect of heterogeneity from the effect of fading.
+    Static {
+        /// Fixed gain per worker.
+        gains: Vec<f64>,
+    },
+}
+
+impl ChannelModel {
+    /// A Rayleigh model with unit average gain for every one of `n` workers,
+    /// the configuration used by the paper's experiments.
+    ///
+    /// The floor of 0.3 implements truncated channel inversion: the
+    /// channel-inverting power rule of Eq. (6) caps the power-scaling factor
+    /// by the *worst* gain in the group, so un-truncated deep fades would
+    /// force the whole group's received SNR to zero. Truncation is the
+    /// standard remedy in the AirComp literature the paper builds on.
+    pub fn default_rayleigh(n: usize) -> Self {
+        ChannelModel::Rayleigh {
+            mean_gains: vec![1.0; n],
+            floor: 0.3,
+        }
+    }
+
+    /// A unit-gain noiseless-friendly static channel for `n` workers.
+    pub fn unit(n: usize) -> Self {
+        ChannelModel::Static {
+            gains: vec![1.0; n],
+        }
+    }
+
+    /// Number of workers the model was configured for.
+    pub fn num_workers(&self) -> usize {
+        match self {
+            ChannelModel::Rayleigh { mean_gains, .. } => mean_gains.len(),
+            ChannelModel::Static { gains } => gains.len(),
+        }
+    }
+
+    /// Draw the channel gains `h_i^t` of every worker for one round.
+    pub fn draw_round(&self, rng: &mut Rng64) -> Vec<f64> {
+        match self {
+            ChannelModel::Rayleigh { mean_gains, floor } => mean_gains
+                .iter()
+                .map(|&g| {
+                    // |h|^2 ~ Exp(1) scaled by the mean power gain.
+                    let power = rng.exponential(1.0) * g;
+                    power.sqrt().max(*floor)
+                })
+                .collect(),
+            ChannelModel::Static { gains } => gains.clone(),
+        }
+    }
+
+    /// Draw the gain of a single worker for one round.
+    pub fn draw_worker(&self, worker: usize, rng: &mut Rng64) -> f64 {
+        match self {
+            ChannelModel::Rayleigh { mean_gains, floor } => {
+                let g = mean_gains[worker % mean_gains.len()];
+                (rng.exponential(1.0) * g).sqrt().max(*floor)
+            }
+            ChannelModel::Static { gains } => gains[worker % gains.len()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_channel_is_deterministic() {
+        let m = ChannelModel::Static {
+            gains: vec![0.5, 2.0],
+        };
+        let mut rng = Rng64::seed_from(1);
+        assert_eq!(m.draw_round(&mut rng), vec![0.5, 2.0]);
+        assert_eq!(m.draw_round(&mut rng), vec![0.5, 2.0]);
+        assert_eq!(m.draw_worker(0, &mut rng), 0.5);
+    }
+
+    #[test]
+    fn rayleigh_gains_are_positive_and_respect_floor() {
+        let m = ChannelModel::Rayleigh {
+            mean_gains: vec![1.0; 50],
+            floor: 0.1,
+        };
+        let mut rng = Rng64::seed_from(2);
+        for _ in 0..20 {
+            let gains = m.draw_round(&mut rng);
+            assert_eq!(gains.len(), 50);
+            assert!(gains.iter().all(|&h| h >= 0.1));
+        }
+    }
+
+    #[test]
+    fn rayleigh_mean_power_tracks_mean_gain() {
+        let m = ChannelModel::Rayleigh {
+            mean_gains: vec![4.0],
+            floor: 1e-6,
+        };
+        let mut rng = Rng64::seed_from(3);
+        let n = 20_000;
+        let mean_power: f64 = (0..n)
+            .map(|_| {
+                let h = m.draw_worker(0, &mut rng);
+                h * h
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean_power - 4.0).abs() < 0.15,
+            "mean |h|^2 = {mean_power}, expected 4"
+        );
+    }
+
+    #[test]
+    fn default_rayleigh_covers_all_workers() {
+        let m = ChannelModel::default_rayleigh(7);
+        assert_eq!(m.num_workers(), 7);
+        let mut rng = Rng64::seed_from(4);
+        assert_eq!(m.draw_round(&mut rng).len(), 7);
+    }
+}

@@ -1,0 +1,177 @@
+//! Communication latency models.
+//!
+//! Two families of schemes appear in the evaluation:
+//!
+//! * **AirComp** (Air-FedGA, Air-FedAvg, Dynamic): every participating worker
+//!   transmits simultaneously, so the aggregation latency is independent of
+//!   the number of participants — Eq. (33): `L_u = (q / R) · L_s` where `q` is
+//!   the model dimension, `R` the number of sub-channels and `L_s` the OFDM
+//!   symbol duration.
+//! * **OMA** (FedAvg, TiFL): workers upload their models one at a time (TDMA)
+//!   or by splitting the band (OFDMA); either way the total upload latency of
+//!   a round grows linearly with the number of uploaders, which is the
+//!   scalability bottleneck Fig. 10 demonstrates.
+
+use serde::{Deserialize, Serialize};
+
+/// Orthogonal multiple-access flavours used by the non-AirComp baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OmaScheme {
+    /// Time-division: uploads are serialised, each at the full link rate.
+    Tdma,
+    /// Frequency-division: uploads are concurrent but each gets `1/n` of the
+    /// band, so the completion time of the round is the same as TDMA while
+    /// individual uploads finish together.
+    Ofdma,
+}
+
+/// Physical-layer constants shared by all mechanisms. Defaults follow
+/// §VI.A.2 of the paper: bandwidth `B = 1 MHz`, noise variance `σ₀² = 1 W`,
+/// per-round energy budget `Ê_i = 10 J`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WirelessConfig {
+    /// Channel bandwidth in Hz.
+    pub bandwidth_hz: f64,
+    /// AWGN variance σ₀² at the parameter server (W).
+    pub noise_variance: f64,
+    /// Per-worker, per-round energy budget Ê_i (J).
+    pub energy_budget: f64,
+    /// Number of OFDM sub-channels `R` used by AirComp aggregation.
+    pub subchannels: usize,
+    /// OFDM symbol duration `L_s` (seconds).
+    pub symbol_duration: f64,
+    /// Bits used to encode one model parameter in OMA digital uploads.
+    pub bits_per_param: f64,
+    /// Spectral efficiency of OMA digital uploads (bits/s/Hz).
+    pub spectral_efficiency: f64,
+    /// Latency of broadcasting the global model back to a group (seconds).
+    /// The downlink is a broadcast channel, so this is independent of the
+    /// number of receivers; the paper folds it into the round time.
+    pub broadcast_latency: f64,
+}
+
+impl Default for WirelessConfig {
+    fn default() -> Self {
+        Self {
+            bandwidth_hz: 1.0e6,
+            noise_variance: 1.0,
+            energy_budget: 10.0,
+            subchannels: 256,
+            symbol_duration: 1.0e-3,
+            bits_per_param: 32.0,
+            spectral_efficiency: 1.0,
+            broadcast_latency: 0.05,
+        }
+    }
+}
+
+impl WirelessConfig {
+    /// Panic with a descriptive message on inconsistent constants.
+    pub fn validate(&self) {
+        assert!(self.bandwidth_hz > 0.0, "bandwidth must be positive");
+        assert!(self.noise_variance >= 0.0, "noise variance must be >= 0");
+        assert!(self.energy_budget > 0.0, "energy budget must be positive");
+        assert!(self.subchannels > 0, "subchannel count must be positive");
+        assert!(self.symbol_duration > 0.0, "symbol duration must be positive");
+        assert!(self.bits_per_param > 0.0, "bits per parameter must be positive");
+        assert!(
+            self.spectral_efficiency > 0.0,
+            "spectral efficiency must be positive"
+        );
+        assert!(self.broadcast_latency >= 0.0, "broadcast latency must be >= 0");
+    }
+
+    /// AirComp aggregation latency `L_u = (q / R) · L_s` (Eq. (33)). The
+    /// ceiling accounts for the last partially-filled OFDM symbol.
+    pub fn aircomp_aggregation_time(&self, model_dim: usize) -> f64 {
+        assert!(model_dim > 0, "model dimension must be positive");
+        let symbols = (model_dim as f64 / self.subchannels as f64).ceil();
+        symbols * self.symbol_duration
+    }
+
+    /// Time for a single worker to upload `model_dim` parameters digitally at
+    /// the full link rate.
+    pub fn oma_single_upload_time(&self, model_dim: usize) -> f64 {
+        assert!(model_dim > 0, "model dimension must be positive");
+        let bits = model_dim as f64 * self.bits_per_param;
+        bits / (self.bandwidth_hz * self.spectral_efficiency)
+    }
+
+    /// Total upload latency of one OMA round with `num_uploaders` workers.
+    /// Both TDMA and OFDMA serialise the aggregate air-time, so the round
+    /// completion time scales linearly with the number of uploaders.
+    pub fn oma_round_upload_time(
+        &self,
+        scheme: OmaScheme,
+        model_dim: usize,
+        num_uploaders: usize,
+    ) -> f64 {
+        assert!(num_uploaders > 0, "need at least one uploader");
+        let single = self.oma_single_upload_time(model_dim);
+        match scheme {
+            OmaScheme::Tdma | OmaScheme::Ofdma => single * num_uploaders as f64,
+        }
+    }
+
+    /// Ratio between one OMA round's upload latency and one AirComp
+    /// aggregation — the headline communication saving of AirComp.
+    pub fn aircomp_speedup(&self, model_dim: usize, num_uploaders: usize) -> f64 {
+        self.oma_round_upload_time(OmaScheme::Tdma, model_dim, num_uploaders)
+            / self.aircomp_aggregation_time(model_dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = WirelessConfig::default();
+        c.validate();
+        assert_eq!(c.bandwidth_hz, 1.0e6);
+        assert_eq!(c.noise_variance, 1.0);
+        assert_eq!(c.energy_budget, 10.0);
+    }
+
+    #[test]
+    fn aircomp_time_is_independent_of_uploaders() {
+        let c = WirelessConfig::default();
+        let t = c.aircomp_aggregation_time(10_000);
+        // (10000 / 256).ceil() = 40 symbols of 1 ms.
+        assert!((t - 0.040).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oma_time_scales_linearly_with_workers() {
+        let c = WirelessConfig::default();
+        let one = c.oma_round_upload_time(OmaScheme::Tdma, 10_000, 1);
+        let hundred = c.oma_round_upload_time(OmaScheme::Tdma, 10_000, 100);
+        assert!((hundred / one - 100.0).abs() < 1e-9);
+        // 10k params * 32 bits / 1 Mbit/s = 0.32 s.
+        assert!((one - 0.32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ofdma_and_tdma_round_times_match() {
+        let c = WirelessConfig::default();
+        assert_eq!(
+            c.oma_round_upload_time(OmaScheme::Tdma, 5_000, 10),
+            c.oma_round_upload_time(OmaScheme::Ofdma, 5_000, 10)
+        );
+    }
+
+    #[test]
+    fn aircomp_speedup_grows_with_population() {
+        let c = WirelessConfig::default();
+        assert!(c.aircomp_speedup(10_000, 100) > c.aircomp_speedup(10_000, 10));
+        assert!(c.aircomp_speedup(10_000, 100) > 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "model dimension must be positive")]
+    fn rejects_zero_dimension() {
+        let c = WirelessConfig::default();
+        let _ = c.aircomp_aggregation_time(0);
+    }
+}

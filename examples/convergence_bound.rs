@@ -1,0 +1,64 @@
+//! Theorem 1 in practice: evaluate the convergence bound for different
+//! groupings and staleness levels, illustrating Corollaries 1 and 2.
+//!
+//! ```bash
+//! cargo run --release --example convergence_bound
+//! ```
+
+use air_fedga::airfedga::convergence::{theorem1_bound, BoundInputs, GroupTerm};
+
+fn inputs(max_staleness: usize) -> BoundInputs {
+    BoundInputs {
+        mu: 0.2,
+        smoothness: 1.0,
+        gamma: 0.75,
+        gradient_bound_sq: 0.02,
+        aggregation_error: 0.01,
+        max_staleness,
+        initial_gap: 2.3,
+    }
+}
+
+fn uniform_groups(m: usize, emd: f64) -> Vec<GroupTerm> {
+    (0..m)
+        .map(|_| GroupTerm {
+            psi: 1.0 / m as f64,
+            beta: 1.0 / m as f64,
+            emd,
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Corollary 1 — residual error grows with inter-group Non-IID (EMD):");
+    println!("  EMD    delta      rounds to gap 1.0");
+    for emd in [0.0, 0.4, 0.8, 1.2, 1.6, 1.8] {
+        let bound = theorem1_bound(&inputs(4), &uniform_groups(8, emd));
+        println!(
+            "  {emd:.1}   {:.4}    {}",
+            bound.delta,
+            bound
+                .rounds_to_reach(1.0, 2.3)
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "unreachable".into())
+        );
+    }
+
+    println!("\nCorollary 2 — contraction factor rho grows with the staleness bound:");
+    println!("  tau_max   rho       bound after 200 rounds");
+    for tau in [0usize, 1, 2, 4, 8, 16, 32] {
+        let bound = theorem1_bound(&inputs(tau), &uniform_groups(8, 0.4));
+        println!(
+            "  {tau:>7}   {:.4}    {:.4}",
+            bound.rho,
+            bound.after(200, 2.3)
+        );
+    }
+
+    println!(
+        "\nThe grouping objective of Algorithm 3 trades these two effects against the\n\
+         per-round latency: fewer groups mean less staleness but longer rounds; more\n\
+         groups mean faster rounds but a larger tau_max and (if the grouping ignores\n\
+         labels) a larger residual."
+    );
+}

@@ -1,0 +1,58 @@
+//! Non-IID grouping: how Algorithm 3 balances label distributions across
+//! groups, measured by the earth-mover distance of Eq. (11) (the quantity
+//! behind Table III and Corollary 1).
+//!
+//! ```bash
+//! cargo run --release --example noniid_grouping
+//! ```
+
+use air_fedga::airfedga::mechanism::{AirFedGa, AirFedGaConfig};
+use air_fedga::airfedga::system::FlSystemConfig;
+use air_fedga::fedml::partition::Partitioner;
+use air_fedga::fedml::rng::Rng64;
+use air_fedga::grouping::emd::{average_group_emd, group_emd};
+use air_fedga::grouping::tifl::{default_tier_count, tifl_grouping};
+use air_fedga::grouping::worker_info::Grouping;
+
+fn main() {
+    for (label, partitioner) in [
+        ("label-skew (one class per worker)", Partitioner::LabelSkew),
+        ("Dirichlet(0.3) skew", Partitioner::Dirichlet { alpha: 0.3 }),
+        ("IID", Partitioner::Iid),
+    ] {
+        let mut config = FlSystemConfig::mnist_cnn();
+        config.num_workers = 50;
+        config.dataset.samples_per_class = 150;
+        config.partitioner = partitioner;
+        let system = config.build(&mut Rng64::seed_from(3));
+        let workers = &system.worker_infos;
+
+        let original = Grouping::singletons(system.num_workers());
+        let tifl = tifl_grouping(workers, default_tier_count(system.num_workers()));
+        let airfedga = AirFedGa::new(AirFedGaConfig::default()).grouping_for(&system);
+
+        println!("== {label} ==");
+        for (name, grouping) in [
+            ("Original (per worker)", &original),
+            ("TiFL tiers", &tifl),
+            ("Air-FedGA (Alg. 3)", &airfedga),
+        ] {
+            println!(
+                "  {name:<22} groups: {:>3}   average EMD: {:.3}",
+                grouping.num_groups(),
+                average_group_emd(grouping, workers)
+            );
+        }
+        // Show the per-group detail for the Air-FedGA grouping.
+        print!("  per-group EMD (Air-FedGA):");
+        for j in 0..airfedga.num_groups() {
+            print!(" {:.2}", group_emd(&airfedga, j, workers));
+        }
+        println!("\n");
+    }
+    println!(
+        "Lower inter-group EMD means each asynchronous update looks more like an update\n\
+         computed on IID data, which is exactly what Corollary 1 says shrinks the\n\
+         convergence residual."
+    );
+}

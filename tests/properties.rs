@@ -1,0 +1,187 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction: partitioning, over-the-air aggregation, power control,
+//! EMD, the grouping constraint and the Lemma-1/Theorem-1 bounds.
+
+use air_fedga::airfedga::convergence::{lemma1_envelope, lemma1_recursion};
+use air_fedga::fedml::dataset::SyntheticSpec;
+use air_fedga::fedml::params::FlatParams;
+use air_fedga::fedml::partition::{LabelDistribution, Partitioner};
+use air_fedga::fedml::rng::Rng64;
+use air_fedga::grouping::emd::average_group_emd;
+use air_fedga::grouping::greedy::{greedy_grouping, GreedyGroupingConfig};
+use air_fedga::grouping::objective::{GroupingObjective, ObjectiveConstants};
+use air_fedga::grouping::worker_info::WorkerInfo;
+use air_fedga::wireless::aircomp::{air_aggregate, apply_group_update, AirAggregationInput};
+use air_fedga::wireless::power::{optimize_power, transmit_power, PowerControlConfig};
+use proptest::prelude::*;
+
+fn label_skew_workers(n: usize, latencies: &[f64]) -> Vec<WorkerInfo> {
+    (0..n)
+        .map(|i| {
+            let mut counts = vec![0usize; 10];
+            counts[i * 10 / n] = 40;
+            WorkerInfo::new(i, latencies[i % latencies.len()].max(0.1), 40, counts)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every partitioner produces a true partition: shards are disjoint,
+    /// cover the dataset, and are non-empty.
+    #[test]
+    fn partitioners_produce_true_partitions(
+        seed in 0u64..1_000,
+        num_workers in 1usize..40,
+        which in 0usize..3,
+    ) {
+        let mut rng = Rng64::seed_from(seed);
+        let data = SyntheticSpec::mnist_like()
+            .with_samples_per_class(12)
+            .generate(&mut rng);
+        let partitioner = match which {
+            0 => Partitioner::LabelSkew,
+            1 => Partitioner::Iid,
+            _ => Partitioner::Dirichlet { alpha: 0.5 },
+        };
+        let shards = partitioner.partition(&data, num_workers, &mut rng);
+        prop_assert_eq!(shards.len(), num_workers);
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all.len(), data.len());
+        all.dedup();
+        prop_assert_eq!(all.len(), data.len());
+        prop_assert!(shards.iter().all(|s| !s.is_empty()));
+    }
+
+    /// With a noiseless channel and matched factors (sigma = sqrt(eta)), the
+    /// over-the-air estimate equals the ideal weighted average, and the
+    /// global update is the exact convex combination of Eq. (8).
+    #[test]
+    fn noiseless_aircomp_is_exact(
+        dims in 1usize..64,
+        sizes in proptest::collection::vec(1.0f64..200.0, 1..6),
+        scale in 0.1f64..4.0,
+    ) {
+        let params: Vec<FlatParams> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, _)| FlatParams(vec![0.02 * (i as f64 + 1.0); dims]))
+            .collect();
+        let inputs: Vec<AirAggregationInput<'_>> = params
+            .iter()
+            .zip(sizes.iter())
+            .map(|(p, &d)| AirAggregationInput { data_size: d, channel_gain: 0.7, params: p })
+            .collect();
+        let mut rng = Rng64::seed_from(1);
+        let res = air_aggregate(&inputs, scale, scale * scale, 0.0, &mut rng);
+        prop_assert!(res.error_norm_sq < 1e-16);
+        let total: f64 = sizes.iter().sum();
+        let global = FlatParams::zeros(dims);
+        let updated = apply_group_update(&global, &res.group_estimate, total, total * 2.0);
+        // Half weight: every coordinate equals half the ideal average.
+        for (u, i) in updated.0.iter().zip(res.ideal_group_model.0.iter()) {
+            prop_assert!((u - 0.5 * i).abs() < 1e-12);
+        }
+    }
+
+    /// Algorithm 2 always converges and never violates any worker's energy
+    /// budget, regardless of channel gains, data sizes or budget magnitudes.
+    #[test]
+    fn power_control_respects_energy_budgets(
+        norm in 0.5f64..50.0,
+        sizes in proptest::collection::vec(1.0f64..500.0, 1..8),
+        gains_seed in 0u64..1000,
+        budget in 0.01f64..100.0,
+    ) {
+        let mut rng = Rng64::seed_from(gains_seed);
+        let gains: Vec<f64> = sizes.iter().map(|_| rng.uniform_range(0.05, 2.0)).collect();
+        let mut cfg = PowerControlConfig::for_group(norm, sizes.clone(), gains.clone());
+        cfg.energy_budgets = vec![budget; sizes.len()];
+        let sol = optimize_power(&cfg);
+        prop_assert!(sol.sigma > 0.0 && sol.eta > 0.0);
+        prop_assert!(sol.cost.is_finite());
+        for ((&d, &h), &e) in sizes.iter().zip(gains.iter()).zip(cfg.energy_budgets.iter()) {
+            let p = transmit_power(d, sol.sigma, h);
+            prop_assert!(p * p * norm * norm <= e * (1.0 + 1e-6));
+        }
+    }
+
+    /// The average group EMD is always within [0, 2], and grouping everyone
+    /// together always achieves EMD 0.
+    #[test]
+    fn emd_is_bounded_and_full_grouping_is_iid(
+        n in 2usize..60,
+        latency_seed in 0u64..1000,
+    ) {
+        let mut rng = Rng64::seed_from(latency_seed);
+        let latencies: Vec<f64> = (0..n).map(|_| rng.uniform_range(5.0, 60.0)).collect();
+        let workers = label_skew_workers(n, &latencies);
+        let singles = air_fedga::grouping::worker_info::Grouping::singletons(n);
+        let single_group = air_fedga::grouping::worker_info::Grouping::single_group(n);
+        let e_singles = average_group_emd(&singles, &workers);
+        let e_all = average_group_emd(&single_group, &workers);
+        prop_assert!((0.0..=2.0 + 1e-9).contains(&e_singles));
+        prop_assert!(e_all < 1e-9);
+        prop_assert!(e_singles >= e_all);
+    }
+
+    /// Algorithm 3 always yields a valid partition that satisfies the
+    /// ξ-constraint, and never does worse on the objective than the
+    /// fully-asynchronous singleton grouping.
+    #[test]
+    fn greedy_grouping_invariants(
+        n in 2usize..40,
+        xi in 0.0f64..1.0,
+        latency_seed in 0u64..1000,
+    ) {
+        let mut rng = Rng64::seed_from(latency_seed);
+        let latencies: Vec<f64> = (0..n).map(|_| rng.uniform_range(5.0, 60.0)).collect();
+        let workers = label_skew_workers(n, &latencies);
+        let objective = GroupingObjective::new(0.5, xi, ObjectiveConstants::default());
+        let cfg = GreedyGroupingConfig::new(objective.clone());
+        let grouping = greedy_grouping(&workers, &cfg);
+        prop_assert_eq!(grouping.num_workers(), n);
+        prop_assert!(objective.satisfies_xi(&grouping, &workers));
+        let singles = air_fedga::grouping::worker_info::Grouping::singletons(n);
+        prop_assert!(
+            objective.evaluate(&grouping, &workers)
+                <= objective.evaluate(&singles, &workers) + 1e-9
+        );
+    }
+
+    /// Lemma 1: the closed-form envelope dominates the worst-case recursion
+    /// for any admissible (x, y, z, tau).
+    #[test]
+    fn lemma1_envelope_dominates(
+        x in 0.0f64..0.7,
+        y_frac in 0.0f64..0.99,
+        z in 0.0f64..0.5,
+        q0 in 0.0f64..10.0,
+        tau in 0usize..8,
+    ) {
+        let y = y_frac * (0.99 - x).max(0.0);
+        let seq = lemma1_recursion(x, y, z, q0, tau, 120);
+        for (t, q) in seq.iter().enumerate() {
+            prop_assert!(*q <= lemma1_envelope(x, y, z, q0, tau, t) + 1e-7);
+        }
+    }
+
+    /// Merging label distributions is equivalent to computing the
+    /// distribution of the union (checked via counts).
+    #[test]
+    fn label_distribution_merge_is_consistent(
+        counts_a in proptest::collection::vec(0usize..50, 5),
+        counts_b in proptest::collection::vec(0usize..50, 5),
+    ) {
+        prop_assume!(counts_a.iter().sum::<usize>() > 0);
+        prop_assume!(counts_b.iter().sum::<usize>() > 0);
+        let a = LabelDistribution::from_counts(&counts_a);
+        let b = LabelDistribution::from_counts(&counts_b);
+        let merged = LabelDistribution::merge(&[&a, &b]);
+        let combined: Vec<usize> = counts_a.iter().zip(counts_b.iter()).map(|(x, y)| x + y).collect();
+        let expected = LabelDistribution::from_counts(&combined);
+        prop_assert!(merged.l1_distance(&expected) < 1e-9);
+    }
+}
