@@ -106,7 +106,10 @@ pub fn theorem1_bound(inputs: &BoundInputs, groups: &[GroupTerm]) -> Convergence
         "participation frequencies must sum to 1 (got {psi_sum})"
     );
     for g in groups {
-        assert!(g.psi >= 0.0 && g.beta >= 0.0, "psi/beta must be non-negative");
+        assert!(
+            g.psi >= 0.0 && g.beta >= 0.0,
+            "psi/beta must be non-negative"
+        );
         assert!(
             (0.0..=2.0 + 1e-9).contains(&g.emd),
             "EMD must lie in [0, 2], got {}",
@@ -142,8 +145,18 @@ pub fn theorem1_bound(inputs: &BoundInputs, groups: &[GroupTerm]) -> Convergence
 /// `Q(t) ≤ ρ^t Q(0) + δ` with `ρ = (x+y)^{1/(1+τ_max)}` and `δ = z/(1−x−y)`.
 /// This helper iterates the recursion numerically (worst case `l_t = t−τ−1`)
 /// so tests can confirm the closed form dominates it.
-pub fn lemma1_recursion(x: f64, y: f64, z: f64, q0: f64, tau_max: usize, rounds: usize) -> Vec<f64> {
-    assert!(x >= 0.0 && y >= 0.0 && z >= 0.0 && q0 >= 0.0, "nonnegative inputs");
+pub fn lemma1_recursion(
+    x: f64,
+    y: f64,
+    z: f64,
+    q0: f64,
+    tau_max: usize,
+    rounds: usize,
+) -> Vec<f64> {
+    assert!(
+        x >= 0.0 && y >= 0.0 && z >= 0.0 && q0 >= 0.0,
+        "nonnegative inputs"
+    );
     assert!(x + y < 1.0, "Lemma 1 requires x + y < 1");
     let mut q = vec![q0];
     for t in 1..=rounds {

@@ -11,6 +11,9 @@
 //!   staleness `τ_t` of Eq. (5).
 //! * [`mechanism`] — Algorithm 1: grouping asynchronous federated learning
 //!   via over-the-air computation, driven in virtual time.
+//! * [`worker_pool`] — per-worker training state (model, RNG stream, scratch
+//!   workspace); a round's members train in parallel on a scoped thread pool
+//!   with bit-identical-to-sequential results.
 //! * [`convergence`] — numerical evaluation of the Theorem-1 bound
 //!   (`ρ`, `δ`, the Lemma-1 recursion) and of Corollaries 1–2.
 //!
@@ -39,6 +42,7 @@ pub mod convergence;
 pub mod mechanism;
 pub mod staleness;
 pub mod system;
+pub mod worker_pool;
 
 pub use mechanism::{AirFedGa, AirFedGaConfig};
 pub use system::{FlMechanism, FlSystem, FlSystemConfig};

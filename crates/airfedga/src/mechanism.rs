@@ -20,7 +20,7 @@
 
 use crate::staleness::StalenessTracker;
 use crate::system::{FlMechanism, FlSystem};
-use fedml::optimizer::local_update_from;
+use crate::worker_pool::WorkerPool;
 use fedml::params::FlatParams;
 use fedml::rng::Rng64;
 use grouping::greedy::{greedy_grouping, GreedyGroupingConfig};
@@ -28,7 +28,7 @@ use grouping::objective::{GroupingObjective, ObjectiveConstants};
 use grouping::worker_info::Grouping;
 use simcore::events::EventQueue;
 use simcore::trace::{TracePoint, TrainingTrace};
-use wireless::aircomp::{air_aggregate, apply_group_update, AirAggregationInput};
+use wireless::aircomp::{air_aggregate, apply_group_update_in_place, AirAggregationInput};
 use wireless::energy::EnergyLedger;
 use wireless::power::{optimize_power, PowerControlConfig};
 use wireless::timing::OmaScheme;
@@ -62,6 +62,11 @@ pub struct EngineOptions {
     pub max_virtual_time: Option<f64>,
     /// Aggregation back-end.
     pub aggregation: AggregationMode,
+    /// Run each round's per-member local updates on the scoped thread pool.
+    /// Traces are bit-identical either way (each worker owns its RNG stream
+    /// and scratch state, and the reduction order is fixed); `false` is only
+    /// useful for profiling the sequential engine.
+    pub parallel: bool,
 }
 
 impl EngineOptions {
@@ -83,6 +88,17 @@ impl EngineOptions {
 /// the group is re-dispatched. With a single group the schedule degenerates to
 /// synchronous FL, so the same engine also powers the FedAvg / Air-FedAvg
 /// baselines.
+///
+/// The local-training hot path is allocation-free in steady state: every
+/// worker owns a persistent [`WorkerPool`] slot (model, RNG stream, scratch
+/// workspace, local-parameter buffer), the per-group dispatch vectors and
+/// power-control buffers are reused across rounds, and evaluation runs
+/// through the batched `evaluate_ws` path. The AirComp aggregation itself
+/// still allocates its received/ideal vectors per round inside
+/// [`air_aggregate`] (see the ROADMAP open item); the OMA branch reuses its
+/// estimate buffer. With `opts.parallel` the members of the aggregating
+/// group train concurrently on scoped threads — bit-identical to the
+/// sequential schedule.
 pub fn run_group_async(
     system: &FlSystem,
     grouping: &Grouping,
@@ -107,6 +123,15 @@ pub fn run_group_async(
     let mut dispatch_params: Vec<FlatParams> = vec![global.clone(); m];
     let mut staleness = StalenessTracker::new(m);
     let mut ledger = EnergyLedger::new(system.num_workers());
+    let mut pool = WorkerPool::new(system, rng);
+    let mut eval_ws = fedml::workspace::Workspace::new();
+
+    // Reusable per-round buffers (cleared, never reallocated in steady
+    // state).
+    let mut data_sizes: Vec<f64> = Vec::new();
+    let mut gains: Vec<f64> = Vec::new();
+    let mut group_estimate = FlatParams::zeros(model_dim);
+    let mut pc = PowerControlConfig::for_group(1.0, &[1.0], &[1.0]);
 
     // Initial dispatch: every group starts local training on w_0 at time 0.
     let mut queue: EventQueue<usize> = EventQueue::new();
@@ -116,15 +141,15 @@ pub fn run_group_async(
 
     // Record the starting point (round 0).
     template.set_params(&global);
+    let stats = template.evaluate_ws(&system.test, &mut eval_ws);
     trace.record(TracePoint {
         time: 0.0,
         round: 0,
-        loss: template.loss(&system.test),
-        accuracy: template.accuracy(&system.test),
+        loss: stats.loss,
+        accuracy: stats.accuracy,
         energy: 0.0,
     });
 
-    let mut last_recorded_round = 0usize;
     for round in 1..=opts.total_rounds {
         let Some((ready_time, j)) = queue.pop() else {
             break;
@@ -145,39 +170,25 @@ pub fn run_group_async(
         }
 
         // Local training: every member trains from the model version its
-        // group received at dispatch time.
-        let local_params: Vec<FlatParams> = members
-            .iter()
-            .map(|&w| {
-                local_update_from(
-                    template.as_mut(),
-                    &dispatch_params[j],
-                    &system.shards[w],
-                    &system.config.sgd,
-                    rng,
-                )
-                .0
-            })
-            .collect();
-        let data_sizes: Vec<f64> = members
-            .iter()
-            .map(|&w| system.shards[w].len() as f64)
-            .collect();
+        // group received at dispatch time, in parallel across the group's
+        // members when enabled.
+        pool.train_members(members, &dispatch_params[j], system, opts.parallel);
+
+        data_sizes.clear();
+        data_sizes.extend(members.iter().map(|&w| system.shards[w].len() as f64));
         let group_data: f64 = data_sizes.iter().sum();
 
         // Aggregate the group's local models into the group estimate.
-        let group_estimate = match opts.aggregation {
+        match opts.aggregation {
             AggregationMode::AirComp {
                 power_control,
                 noise,
             } => {
-                let gains: Vec<f64> = members
+                gains.clear();
+                gains.extend(members.iter().map(|&w| system.channel.draw_worker(w, rng)));
+                let norm_bound = members
                     .iter()
-                    .map(|&w| system.channel.draw_worker(w, rng))
-                    .collect();
-                let norm_bound = local_params
-                    .iter()
-                    .map(|p| p.norm())
+                    .map(|&w| pool.local(w).norm())
                     .fold(0.0_f64, f64::max)
                     .max(1e-9);
                 assert!(
@@ -186,10 +197,8 @@ pub fn run_group_async(
                      check the learning rate / channel-noise calibration"
                 );
                 let (sigma, eta) = if power_control {
-                    let mut pc =
-                        PowerControlConfig::for_group(norm_bound, data_sizes.clone(), gains.clone());
+                    pc.set_group(norm_bound, &data_sizes, &gains, wireless.energy_budget);
                     pc.noise_variance = wireless.noise_variance;
-                    pc.energy_budgets = vec![wireless.energy_budget; members.len()];
                     let sol = optimize_power(&pc);
                     (sol.sigma, sol.eta)
                 } else {
@@ -198,10 +207,10 @@ pub fn run_group_async(
                 let inputs: Vec<AirAggregationInput<'_>> = members
                     .iter()
                     .enumerate()
-                    .map(|(k, _)| AirAggregationInput {
+                    .map(|(k, &w)| AirAggregationInput {
                         data_size: data_sizes[k],
                         channel_gain: gains[k],
-                        params: &local_params[k],
+                        params: pool.local(w),
                     })
                     .collect();
                 let noise_var = if noise { wireless.noise_variance } else { 0.0 };
@@ -210,45 +219,43 @@ pub fn run_group_async(
                     ledger.record(w, result.per_worker_energy[k]);
                 }
                 ledger.finish_round();
-                result.group_estimate
+                group_estimate = result.group_estimate;
             }
             AggregationMode::OmaIdeal { .. } => {
-                // Exact weighted average of the members' local models.
-                let weighted: Vec<(f64, &FlatParams)> = local_params
-                    .iter()
-                    .enumerate()
-                    .map(|(k, p)| (data_sizes[k] / group_data, p))
-                    .collect();
+                // Exact weighted average of the members' local models,
+                // accumulated into the reusable estimate buffer.
+                group_estimate.as_mut_slice().fill(0.0);
+                for (k, &w) in members.iter().enumerate() {
+                    group_estimate.axpy(data_sizes[k] / group_data, pool.local(w));
+                }
                 ledger.finish_round();
-                FlatParams::weighted_sum(&weighted)
             }
         };
 
         // Asynchronous global update (Eq. (10)) and staleness bookkeeping.
-        global = apply_group_update(&global, &group_estimate, group_data, total_data);
+        apply_group_update_in_place(&mut global, &group_estimate, group_data, total_data);
         staleness.record_aggregation(j, round);
 
-        // Periodic evaluation.
+        // Periodic evaluation (batched loss + accuracy in one pass).
         if round % opts.eval_every == 0 || round == opts.total_rounds {
             template.set_params(&global);
+            let stats = template.evaluate_ws(&system.test, &mut eval_ws);
             trace.record(TracePoint {
                 time: aggregation_time,
                 round,
-                loss: template.loss(&system.test),
-                accuracy: template.accuracy(&system.test),
+                loss: stats.loss,
+                accuracy: stats.accuracy,
                 energy: ledger.total(),
             });
-            last_recorded_round = round;
         }
 
         // Re-dispatch the fresh global model to the group and schedule its
         // next ready event.
-        dispatch_params[j] = global.clone();
+        dispatch_params[j].clone_from(&global);
         let next_ready = aggregation_time
             + wireless.broadcast_latency
             + grouping.group_max_latency(j, &system.worker_infos);
         queue.push(next_ready, j);
-        let _ = last_recorded_round;
     }
     trace
 }
@@ -273,6 +280,9 @@ pub struct AirFedGaConfig {
     pub max_virtual_time: Option<f64>,
     /// Use this grouping instead of running Algorithm 3 (for ablations).
     pub grouping_override: Option<Grouping>,
+    /// Train each round's group members on the scoped thread pool
+    /// (bit-identical to sequential execution; see [`EngineOptions`]).
+    pub parallel: bool,
 }
 
 impl Default for AirFedGaConfig {
@@ -286,6 +296,7 @@ impl Default for AirFedGaConfig {
             channel_noise: true,
             max_virtual_time: None,
             grouping_override: None,
+            parallel: true,
         }
     }
 }
@@ -342,6 +353,7 @@ impl AirFedGa {
                 power_control: self.config.power_control,
                 noise: self.config.channel_noise,
             },
+            parallel: self.config.parallel,
         };
         run_group_async(system, grouping, &opts, self.name(), rng)
     }
@@ -451,6 +463,40 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_sequential_engines_produce_identical_traces() {
+        let system = quick_system(20);
+        let grouping = AirFedGa::new(quick_config(1)).grouping_for(&system);
+        let base = EngineOptions {
+            total_rounds: 25,
+            eval_every: 1,
+            max_virtual_time: None,
+            aggregation: AggregationMode::AirComp {
+                power_control: true,
+                noise: true,
+            },
+            parallel: true,
+        };
+        let mut seq_opts = base.clone();
+        seq_opts.parallel = false;
+        let par = run_group_async(&system, &grouping, &base, "par", &mut Rng64::seed_from(21));
+        let seq = run_group_async(
+            &system,
+            &grouping,
+            &seq_opts,
+            "seq",
+            &mut Rng64::seed_from(21),
+        );
+        assert_eq!(par.points().len(), seq.points().len());
+        for (a, b) in par.points().iter().zip(seq.points()) {
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+        }
+    }
+
+    #[test]
     fn max_virtual_time_caps_the_run() {
         let system = quick_system(10);
         let mut cfg = quick_config(500);
@@ -472,6 +518,7 @@ mod tests {
                 power_control: true,
                 noise: true,
             },
+            parallel: true,
         };
         let mut oma = base.clone();
         oma.aggregation = AggregationMode::OmaIdeal {

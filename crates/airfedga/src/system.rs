@@ -263,11 +263,7 @@ mod tests {
         cfg.num_workers = 10;
         let sys = cfg.build(&mut rng);
         for shard in &sys.shards {
-            let nonzero = shard
-                .label_counts()
-                .iter()
-                .filter(|&&c| c > 0)
-                .count();
+            let nonzero = shard.label_counts().iter().filter(|&&c| c > 0).count();
             assert_eq!(nonzero, 1);
         }
     }

@@ -61,6 +61,7 @@ impl FlMechanism for AirFedAvg {
                 power_control: self.power_control,
                 noise: self.channel_noise,
             },
+            parallel: self.options.parallel,
         };
         run_group_async(system, &grouping, &opts, self.name(), rng)
     }
@@ -82,9 +83,14 @@ mod tests {
             total_rounds: 25,
             eval_every: 5,
             max_virtual_time: None,
+            parallel: true,
         });
         let trace = mech.run(&system, &mut Rng64::seed_from(2));
-        assert!(trace.final_accuracy() > 0.8, "acc {}", trace.final_accuracy());
+        assert!(
+            trace.final_accuracy() > 0.8,
+            "acc {}",
+            trace.final_accuracy()
+        );
         assert!(trace.total_energy() > 0.0);
     }
 
@@ -97,6 +103,7 @@ mod tests {
             total_rounds: 5,
             eval_every: 1,
             max_virtual_time: None,
+            parallel: true,
         };
         let air = AirFedAvg::new(opts).run(&system, &mut Rng64::seed_from(4));
         let fed = crate::fedavg::FedAvg::new(opts).run(&system, &mut Rng64::seed_from(4));
@@ -110,6 +117,7 @@ mod tests {
             total_rounds: 10,
             eval_every: 1,
             max_virtual_time: None,
+            parallel: true,
         });
         let trace = mech.run(&system, &mut Rng64::seed_from(6));
         // N workers, at most E_hat = 10 J each, per round.

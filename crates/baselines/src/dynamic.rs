@@ -13,11 +13,11 @@
 
 use crate::BaselineOptions;
 use airfedga::system::{FlMechanism, FlSystem};
-use fedml::optimizer::local_update_from;
-use fedml::params::FlatParams;
+use airfedga::worker_pool::WorkerPool;
 use fedml::rng::Rng64;
+use fedml::workspace::Workspace;
 use simcore::trace::{TracePoint, TrainingTrace};
-use wireless::aircomp::{air_aggregate, apply_group_update, AirAggregationInput};
+use wireless::aircomp::{air_aggregate, apply_group_update_in_place, AirAggregationInput};
 use wireless::energy::EnergyLedger;
 use wireless::power::{optimize_power, PowerControlConfig};
 
@@ -107,13 +107,21 @@ impl FlMechanism for Dynamic {
         let aggregation_latency = system.aircomp_aggregation_time();
         let mut ledger = EnergyLedger::new(system.num_workers());
         let k = ((system.num_workers() as f64 * cfg.select_fraction).ceil() as usize).max(1);
+        let mut pool = WorkerPool::new(system, rng);
+        let mut eval_ws = Workspace::new();
+
+        // Reusable per-round buffers.
+        let mut data_sizes: Vec<f64> = Vec::new();
+        let mut sel_gains: Vec<f64> = Vec::new();
+        let mut pc = PowerControlConfig::for_group(1.0, &[1.0], &[1.0]);
 
         template.set_params(&global);
+        let stats = template.evaluate_ws(&system.test, &mut eval_ws);
         trace.record(TracePoint {
             time: 0.0,
             round: 0,
-            loss: template.loss(&system.test),
-            accuracy: template.accuracy(&system.test),
+            loss: stats.loss,
+            accuracy: stats.accuracy,
             energy: 0.0,
         });
 
@@ -125,20 +133,9 @@ impl FlMechanism for Dynamic {
             let selected = Self::select_workers(&gains, k);
 
             // Synchronous round: selected workers train from the current
-            // global model; the round lasts as long as the slowest of them.
-            let local_params: Vec<FlatParams> = selected
-                .iter()
-                .map(|&w| {
-                    local_update_from(
-                        template.as_mut(),
-                        &global,
-                        &system.shards[w],
-                        &system.config.sgd,
-                        rng,
-                    )
-                    .0
-                })
-                .collect();
+            // global model (in parallel when enabled); the round lasts as
+            // long as the slowest of them.
+            pool.train_members(&selected, &global, system, cfg.options.parallel);
             let slowest = selected
                 .iter()
                 .map(|&w| system.local_training_time(w))
@@ -151,22 +148,19 @@ impl FlMechanism for Dynamic {
             }
 
             // Over-the-air aggregation of the selected subset.
-            let data_sizes: Vec<f64> = selected
-                .iter()
-                .map(|&w| system.shards[w].len() as f64)
-                .collect();
+            data_sizes.clear();
+            data_sizes.extend(selected.iter().map(|&w| system.shards[w].len() as f64));
             let group_data: f64 = data_sizes.iter().sum();
-            let sel_gains: Vec<f64> = selected.iter().map(|&w| gains[w]).collect();
-            let norm_bound = local_params
+            sel_gains.clear();
+            sel_gains.extend(selected.iter().map(|&w| gains[w]));
+            let norm_bound = selected
                 .iter()
-                .map(|p| p.norm())
+                .map(|&w| pool.local(w).norm())
                 .fold(0.0_f64, f64::max)
                 .max(1e-9);
             let (sigma, eta) = if cfg.power_control {
-                let mut pc =
-                    PowerControlConfig::for_group(norm_bound, data_sizes.clone(), sel_gains.clone());
+                pc.set_group(norm_bound, &data_sizes, &sel_gains, wireless.energy_budget);
                 pc.noise_variance = wireless.noise_variance;
-                pc.energy_budgets = vec![wireless.energy_budget; selected.len()];
                 let sol = optimize_power(&pc);
                 (sol.sigma, sol.eta)
             } else {
@@ -175,10 +169,10 @@ impl FlMechanism for Dynamic {
             let inputs: Vec<AirAggregationInput<'_>> = selected
                 .iter()
                 .enumerate()
-                .map(|(i, _)| AirAggregationInput {
+                .map(|(i, &w)| AirAggregationInput {
                     data_size: data_sizes[i],
                     channel_gain: sel_gains[i],
-                    params: &local_params[i],
+                    params: pool.local(w),
                 })
                 .collect();
             let noise_var = if cfg.channel_noise {
@@ -191,15 +185,21 @@ impl FlMechanism for Dynamic {
                 ledger.record(w, result.per_worker_energy[i]);
             }
             ledger.finish_round();
-            global = apply_group_update(&global, &result.group_estimate, group_data, total_data);
+            apply_group_update_in_place(
+                &mut global,
+                &result.group_estimate,
+                group_data,
+                total_data,
+            );
 
             if round % cfg.options.eval_every == 0 || round == cfg.options.total_rounds {
                 template.set_params(&global);
+                let stats = template.evaluate_ws(&system.test, &mut eval_ws);
                 trace.record(TracePoint {
                     time: now,
                     round,
-                    loss: template.loss(&system.test),
-                    accuracy: template.accuracy(&system.test),
+                    loss: stats.loss,
+                    accuracy: stats.accuracy,
                     energy: ledger.total(),
                 });
             }
@@ -225,11 +225,16 @@ mod tests {
                 total_rounds: 80,
                 eval_every: 10,
                 max_virtual_time: None,
+                parallel: true,
             },
             ..DynamicConfig::default()
         });
         let trace = mech.run(&system, &mut Rng64::seed_from(2));
-        assert!(trace.final_accuracy() > 0.5, "acc {}", trace.final_accuracy());
+        assert!(
+            trace.final_accuracy() > 0.5,
+            "acc {}",
+            trace.final_accuracy()
+        );
         assert!(trace.total_energy() > 0.0);
     }
 
@@ -250,6 +255,7 @@ mod tests {
                 total_rounds: 10,
                 eval_every: 1,
                 max_virtual_time: None,
+                parallel: true,
             },
             select_fraction: 0.3,
             ..DynamicConfig::default()
@@ -259,6 +265,7 @@ mod tests {
             total_rounds: 10,
             eval_every: 1,
             max_virtual_time: None,
+            parallel: true,
         })
         .run(&system, &mut Rng64::seed_from(4));
         assert!(dynamic.average_round_time() <= air_fedavg.average_round_time() + 1e-9);
@@ -272,6 +279,7 @@ mod tests {
                 total_rounds: 3,
                 eval_every: 1,
                 max_virtual_time: None,
+                parallel: true,
             },
             select_fraction: 1.0,
             ..DynamicConfig::default()

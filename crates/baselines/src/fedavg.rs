@@ -53,6 +53,7 @@ impl FlMechanism for FedAvg {
             aggregation: AggregationMode::OmaIdeal {
                 scheme: self.scheme,
             },
+            parallel: self.options.parallel,
         };
         run_group_async(system, &grouping, &opts, self.name(), rng)
     }
@@ -74,9 +75,14 @@ mod tests {
             total_rounds: 25,
             eval_every: 5,
             max_virtual_time: None,
+            parallel: true,
         });
         let trace = mech.run(&system, &mut Rng64::seed_from(2));
-        assert!(trace.final_accuracy() > 0.8, "acc {}", trace.final_accuracy());
+        assert!(
+            trace.final_accuracy() > 0.8,
+            "acc {}",
+            trace.final_accuracy()
+        );
         assert_eq!(trace.mechanism, "FedAvg");
     }
 
@@ -87,15 +93,17 @@ mod tests {
             total_rounds: 4,
             eval_every: 1,
             max_virtual_time: None,
+            parallel: true,
         });
         let trace = mech.run(&system, &mut Rng64::seed_from(4));
         let slowest = (0..system.num_workers())
             .map(|i| system.local_training_time(i))
             .fold(f64::NEG_INFINITY, f64::max);
-        let upload = system
-            .config
-            .wireless
-            .oma_round_upload_time(OmaScheme::Tdma, system.model_dim(), system.num_workers());
+        let upload = system.config.wireless.oma_round_upload_time(
+            OmaScheme::Tdma,
+            system.model_dim(),
+            system.num_workers(),
+        );
         assert!(trace.average_round_time() >= slowest + upload - 1e-9);
     }
 
@@ -106,6 +114,7 @@ mod tests {
             total_rounds: 5,
             eval_every: 1,
             max_virtual_time: None,
+            parallel: true,
         });
         let trace = mech.run(&system, &mut Rng64::seed_from(6));
         assert_eq!(trace.total_energy(), 0.0);

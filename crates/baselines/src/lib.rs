@@ -38,6 +38,10 @@ pub struct BaselineOptions {
     pub eval_every: usize,
     /// Optional virtual-time budget (seconds).
     pub max_virtual_time: Option<f64>,
+    /// Run each round's per-worker local updates on the scoped thread pool
+    /// (traces are bit-identical either way; see
+    /// `airfedga::mechanism::EngineOptions`).
+    pub parallel: bool,
 }
 
 impl Default for BaselineOptions {
@@ -46,6 +50,7 @@ impl Default for BaselineOptions {
             total_rounds: 300,
             eval_every: 5,
             max_virtual_time: None,
+            parallel: true,
         }
     }
 }

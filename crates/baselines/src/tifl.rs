@@ -68,6 +68,7 @@ impl FlMechanism for TiFl {
             aggregation: AggregationMode::OmaIdeal {
                 scheme: self.scheme,
             },
+            parallel: self.options.parallel,
         };
         run_group_async(system, &grouping, &opts, self.name(), rng)
     }
@@ -89,11 +90,16 @@ mod tests {
             total_rounds: 60,
             eval_every: 10,
             max_virtual_time: None,
+            parallel: true,
         })
         .with_tiers(3);
         assert_eq!(mech.grouping_for(&system).num_groups(), 3);
         let trace = mech.run(&system, &mut Rng64::seed_from(2));
-        assert!(trace.final_accuracy() > 0.6, "acc {}", trace.final_accuracy());
+        assert!(
+            trace.final_accuracy() > 0.6,
+            "acc {}",
+            trace.final_accuracy()
+        );
     }
 
     #[test]
@@ -128,8 +134,11 @@ mod tests {
             total_rounds: 8,
             eval_every: 1,
             max_virtual_time: None,
+            parallel: true,
         };
-        let tifl = TiFl::new(opts).with_tiers(3).run(&system, &mut Rng64::seed_from(5));
+        let tifl = TiFl::new(opts)
+            .with_tiers(3)
+            .run(&system, &mut Rng64::seed_from(5));
         let fedavg = crate::fedavg::FedAvg::new(opts).run(&system, &mut Rng64::seed_from(5));
         assert!(tifl.average_round_time() < fedavg.average_round_time());
     }

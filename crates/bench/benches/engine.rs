@@ -1,0 +1,183 @@
+//! Benchmarks of the batched training engine.
+//!
+//! * `gemm` — the three GEMM kernels at layer shapes the workloads train.
+//! * `local_step` — the MLP local-training step (one epoch of mini-batch SGD
+//!   over a worker shard, batch 32): the batched zero-alloc engine vs. the
+//!   per-sample reference trainer from `bench::reference`. The quotient of
+//!   the two medians is the headline speedup this repo tracks (≥ 5× floor);
+//!   both medians are recorded in the JSON report.
+//! * `evaluate` — batched loss+accuracy evaluation vs. per-sample predict.
+//! * `full_round` — a short end-to-end run (4 rounds) of each of the five
+//!   mechanisms on a 12-worker system.
+//!
+//! Run with `cargo bench --bench engine`; the JSON report lands in
+//! `target/bench-json/engine.json` (committed baselines live in the repo root
+//! as `BENCH_*.json`).
+
+use airfedga::mechanism::{AirFedGa, AirFedGaConfig};
+use airfedga::system::{FlMechanism, FlSystemConfig};
+use baselines::{AirFedAvg, BaselineOptions, Dynamic, DynamicConfig, FedAvg, TiFl};
+use bench::bench_system;
+use bench::reference::mlp_local_update_reference;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedml::dataset::SyntheticSpec;
+use fedml::linalg::{gemm_nn, gemm_nt, gemm_tn};
+use fedml::model::{Mlp, Model};
+use fedml::optimizer::{local_update_ws, SgdConfig};
+use fedml::rng::Rng64;
+use fedml::workspace::Workspace;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &(m, n, k) in &[(32usize, 64usize, 64usize), (32, 128, 64), (256, 64, 128)] {
+        let a: Vec<f64> = (0..m * k).map(|i| (i % 17) as f64 * 0.1).collect();
+        let bt: Vec<f64> = (0..n * k).map(|i| (i % 13) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| (i % 13) as f64 * 0.1).collect();
+        let at: Vec<f64> = (0..k * m).map(|i| (i % 17) as f64 * 0.1).collect();
+        let mut out = vec![0.0; m * n];
+        group.bench_with_input(
+            BenchmarkId::new("nt", format!("{m}x{n}x{k}")),
+            &0,
+            |be, _| {
+                be.iter(|| {
+                    gemm_nt(&a, &bt, &mut out, m, n, k);
+                    black_box(out[0])
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nn", format!("{m}x{n}x{k}")),
+            &0,
+            |be, _| {
+                be.iter(|| {
+                    gemm_nn(&a, &b, &mut out, m, n, k);
+                    black_box(out[0])
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tn", format!("{m}x{n}x{k}")),
+            &0,
+            |be, _| {
+                be.iter(|| {
+                    gemm_tn(&at, &b, &mut out, m, n, k);
+                    black_box(out[0])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The shard + SGD configuration of the headline local-step comparison.
+fn local_step_fixture() -> (fedml::dataset::Dataset, SgdConfig, Mlp) {
+    let mut rng = Rng64::seed_from(7);
+    let shard = SyntheticSpec::mnist_like()
+        .with_samples_per_class(16) // 160 samples -> 5 full minibatches of 32
+        .generate(&mut rng);
+    let cfg = SgdConfig {
+        learning_rate: 0.05,
+        batch_size: 32,
+        local_epochs: 1,
+    };
+    let model = Mlp::paper_lr(shard.num_features(), shard.num_classes(), &mut rng);
+    (shard, cfg, model)
+}
+
+fn bench_local_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_step");
+    {
+        let (shard, cfg, model) = local_step_fixture();
+        let mut m = model.clone();
+        let mut ws = Workspace::new();
+        group.bench_function("mlp_batched_b32", |b| {
+            b.iter(|| {
+                let mut rng = Rng64::seed_from(1);
+                black_box(local_update_ws(&mut m, &shard, &cfg, &mut rng, &mut ws))
+            })
+        });
+    }
+    {
+        let (shard, cfg, model) = local_step_fixture();
+        let mut m = model.clone();
+        group.bench_function("mlp_per_sample_reference_b32", |b| {
+            b.iter(|| {
+                let mut rng = Rng64::seed_from(1);
+                black_box(mlp_local_update_reference(&mut m, &shard, &cfg, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from(11);
+    let data = SyntheticSpec::mnist_like()
+        .with_samples_per_class(60)
+        .generate(&mut rng);
+    let model = Mlp::paper_lr(data.num_features(), data.num_classes(), &mut rng);
+    let mut group = c.benchmark_group("evaluate");
+    let mut ws = Workspace::new();
+    group.bench_function("batched_evaluate_ws", |b| {
+        b.iter(|| black_box(model.evaluate_ws(&data, &mut ws)))
+    });
+    group.bench_function("per_sample_predict", |b| {
+        b.iter(|| {
+            let correct = (0..data.len())
+                .filter(|&i| model.predict(data.sample(i)) == data.label(i))
+                .count();
+            black_box(correct)
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_round(c: &mut Criterion) {
+    let system = bench_system(FlSystemConfig::mnist_lr_quick(), 12, 42);
+    let opts = BaselineOptions {
+        total_rounds: 4,
+        eval_every: 4,
+        max_virtual_time: None,
+        parallel: true,
+    };
+    let mut group = c.benchmark_group("full_round");
+    group.bench_function("air_fedga", |b| {
+        let mech = AirFedGa::new(AirFedGaConfig {
+            total_rounds: 4,
+            eval_every: 4,
+            ..AirFedGaConfig::default()
+        });
+        b.iter(|| black_box(mech.run(&system, &mut Rng64::seed_from(3))))
+    });
+    group.bench_function("air_fedavg", |b| {
+        let mech = AirFedAvg::new(opts);
+        b.iter(|| black_box(mech.run(&system, &mut Rng64::seed_from(3))))
+    });
+    group.bench_function("dynamic", |b| {
+        let mech = Dynamic::new(DynamicConfig {
+            options: opts,
+            ..DynamicConfig::default()
+        });
+        b.iter(|| black_box(mech.run(&system, &mut Rng64::seed_from(3))))
+    });
+    group.bench_function("fedavg", |b| {
+        let mech = FedAvg::new(opts);
+        b.iter(|| black_box(mech.run(&system, &mut Rng64::seed_from(3))))
+    });
+    group.bench_function("tifl", |b| {
+        let mech = TiFl::new(opts);
+        b.iter(|| black_box(mech.run(&system, &mut Rng64::seed_from(3))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = engine;
+    config = Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_gemm, bench_local_step, bench_evaluate, bench_full_round
+}
+criterion_main!(engine);

@@ -18,6 +18,7 @@ fn baseline_opts() -> BaselineOptions {
         total_rounds: BENCH_ROUNDS,
         eval_every: BENCH_ROUNDS,
         max_virtual_time: None,
+        parallel: true,
     }
 }
 

@@ -11,11 +11,11 @@ use fedml::model::{Mlp, Model};
 use fedml::optimizer::{local_update, SgdConfig};
 use fedml::params::FlatParams;
 use fedml::rng::Rng64;
+use grouping::emd::average_group_emd;
 use grouping::greedy::{greedy_grouping, GreedyGroupingConfig};
 use grouping::objective::{GroupingObjective, ObjectiveConstants};
 use grouping::tifl::tifl_grouping;
 use grouping::worker_info::{Grouping, WorkerInfo};
-use grouping::emd::average_group_emd;
 use simcore::events::EventQueue;
 use std::hint::black_box;
 use wireless::aircomp::{air_aggregate, AirAggregationInput};
@@ -38,24 +38,20 @@ fn bench_aircomp_aggregation(c: &mut Criterion) {
         let params: Vec<FlatParams> = (0..workers)
             .map(|w| FlatParams(vec![0.01 * w as f64; dim]))
             .collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, &_n| {
-                b.iter(|| {
-                    let inputs: Vec<AirAggregationInput<'_>> = params
-                        .iter()
-                        .map(|p| AirAggregationInput {
-                            data_size: 30.0,
-                            channel_gain: 0.8,
-                            params: p,
-                        })
-                        .collect();
-                    let mut rng = Rng64::seed_from(7);
-                    black_box(air_aggregate(&inputs, 0.5, 0.25, 1e-5, &mut rng))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &_n| {
+            b.iter(|| {
+                let inputs: Vec<AirAggregationInput<'_>> = params
+                    .iter()
+                    .map(|p| AirAggregationInput {
+                        data_size: 30.0,
+                        channel_gain: 0.8,
+                        params: p,
+                    })
+                    .collect();
+                let mut rng = Rng64::seed_from(7);
+                black_box(air_aggregate(&inputs, 0.5, 0.25, 1e-5, &mut rng))
+            });
+        });
     }
     group.finish();
 }
@@ -63,11 +59,9 @@ fn bench_aircomp_aggregation(c: &mut Criterion) {
 fn bench_power_control(c: &mut Criterion) {
     let mut group = c.benchmark_group("power_control_alg2");
     for &workers in &[8usize, 32, 128] {
-        let cfg = PowerControlConfig::for_group(
-            12.0,
-            (0..workers).map(|i| 20.0 + i as f64).collect(),
-            (0..workers).map(|i| 0.3 + 0.01 * i as f64).collect(),
-        );
+        let sizes: Vec<f64> = (0..workers).map(|i| 20.0 + i as f64).collect();
+        let gains: Vec<f64> = (0..workers).map(|i| 0.3 + 0.01 * i as f64).collect();
+        let cfg = PowerControlConfig::for_group(12.0, &sizes, &gains);
         group.bench_with_input(BenchmarkId::from_parameter(workers), &cfg, |b, cfg| {
             b.iter(|| black_box(optimize_power(cfg)));
         });

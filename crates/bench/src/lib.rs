@@ -10,8 +10,17 @@
 //!   training run of the mechanisms the figure compares.
 //! * `tables.rs` — benchmark groups for Table I and Table III.
 //!
-//! This library crate only provides the fixture builders so the three bench
-//! binaries do not repeat setup code.
+//! * `engine.rs` — the batched-engine benchmarks: the GEMM kernels, the
+//!   batched vs. per-sample local training step, batched evaluation, and one
+//!   full round of every mechanism. Writes `target/bench-json/engine.json`
+//!   (copy into the repo root as `BENCH_<date>.json` to commit a baseline).
+//!
+//! This library crate provides the fixture builders so the bench binaries do
+//! not repeat setup code, plus [`reference`] — the original per-sample
+//! trainer kept as the correctness oracle and perf baseline for the batched
+//! engine.
+
+pub mod reference;
 
 use airfedga::system::{FlSystem, FlSystemConfig};
 use fedml::rng::Rng64;

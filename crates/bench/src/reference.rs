@@ -1,0 +1,218 @@
+//! The per-sample reference trainer.
+//!
+//! This is the algorithm the first version of `fedml` shipped: walk the
+//! mini-batch one sample at a time, computing a matvec per layer on the way
+//! forward and a rank-one update per layer on the way back, allocating fresh
+//! vectors for logits, softmax outputs, ReLU masks and activations at every
+//! step. It exists for two reasons:
+//!
+//! * **Correctness oracle** — the property tests assert that the batched GEMM
+//!   engine reproduces these gradients to 1e-10 on random models and batches.
+//! * **Perf baseline** — the `engine` bench measures the batched local
+//!   training step against [`mlp_local_update_reference`]; the committed
+//!   `BENCH_*.json` files track that speedup over time.
+//!
+//! It intentionally mirrors the mathematical definition rather than sharing
+//! code with the batched implementation.
+
+use fedml::dataset::Dataset;
+use fedml::linalg::{relu_in_place, Matrix};
+use fedml::loss::cross_entropy_with_grad;
+use fedml::model::{LogisticRegression, Mlp, Model};
+use fedml::optimizer::SgdConfig;
+use fedml::params::FlatParams;
+use fedml::rng::Rng64;
+
+/// Per-sample loss and averaged gradient of a [`LogisticRegression`] model —
+/// the reference implementation of `Model::loss_and_gradient`.
+pub fn logreg_loss_and_gradient(
+    model: &LogisticRegression,
+    data: &Dataset,
+    indices: &[usize],
+) -> (f64, FlatParams) {
+    assert!(!indices.is_empty(), "gradient over an empty batch");
+    let weights = model.weights();
+    let bias = model.bias();
+    let (k, d) = (weights.rows(), weights.cols());
+    let mut grad_w = Matrix::zeros(k, d);
+    let mut grad_b = vec![0.0; k];
+    let mut total_loss = 0.0;
+    let inv_n = 1.0 / indices.len() as f64;
+    for &i in indices {
+        let x = data.sample(i);
+        let mut logits = weights.matvec(x);
+        for (z, b) in logits.iter_mut().zip(bias.iter()) {
+            *z += b;
+        }
+        let (loss, dlogits) = cross_entropy_with_grad(&logits, data.label(i));
+        total_loss += loss;
+        grad_w.rank_one_update(inv_n, &dlogits, x);
+        for (gb, dl) in grad_b.iter_mut().zip(dlogits.iter()) {
+            *gb += inv_n * dl;
+        }
+    }
+    let mut loss = total_loss * inv_n;
+    if model.l2() > 0.0 {
+        loss += 0.5 * model.l2() * weights.frobenius_sq();
+        for (g, w) in grad_w
+            .as_mut_slice()
+            .iter_mut()
+            .zip(weights.as_slice().iter())
+        {
+            *g += model.l2() * w;
+        }
+    }
+    let mut flat = Vec::with_capacity(model.num_params());
+    flat.extend_from_slice(grad_w.as_slice());
+    flat.extend_from_slice(&grad_b);
+    (loss, FlatParams(flat))
+}
+
+/// Forward pass of one sample through an [`Mlp`], returning every layer
+/// input, the ReLU masks and the final logits.
+fn mlp_forward_trace(model: &Mlp, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<bool>>, Vec<f64>) {
+    let depth = model.depth();
+    let mut activations: Vec<Vec<f64>> = vec![x.to_vec()];
+    let mut masks: Vec<Vec<bool>> = Vec::with_capacity(depth.saturating_sub(1));
+    let mut current = x.to_vec();
+    for l in 0..depth {
+        let mut z = model.layer_weights(l).matvec(&current);
+        for (zi, b) in z.iter_mut().zip(model.layer_bias(l).iter()) {
+            *zi += b;
+        }
+        if l + 1 < depth {
+            let mask = relu_in_place(&mut z);
+            masks.push(mask);
+            activations.push(z.clone());
+            current = z;
+        } else {
+            return (activations, masks, z);
+        }
+    }
+    unreachable!("an Mlp always has at least one layer");
+}
+
+/// Per-sample loss and averaged gradient of an [`Mlp`] — the reference
+/// implementation of `Model::loss_and_gradient` (per-sample backprop with
+/// rank-one weight updates).
+pub fn mlp_loss_and_gradient(model: &Mlp, data: &Dataset, indices: &[usize]) -> (f64, FlatParams) {
+    assert!(!indices.is_empty(), "gradient over an empty batch");
+    let depth = model.depth();
+    let inv_n = 1.0 / indices.len() as f64;
+    let mut grads: Vec<(Matrix, Vec<f64>)> = (0..depth)
+        .map(|l| {
+            let w = model.layer_weights(l);
+            (
+                Matrix::zeros(w.rows(), w.cols()),
+                vec![0.0; model.layer_bias(l).len()],
+            )
+        })
+        .collect();
+    let mut total_loss = 0.0;
+    for &i in indices {
+        let x = data.sample(i);
+        let (activations, masks, logits) = mlp_forward_trace(model, x);
+        let (loss, mut delta) = cross_entropy_with_grad(&logits, data.label(i));
+        total_loss += loss;
+        for l in (0..depth).rev() {
+            let input = &activations[l];
+            let (gw, gb) = &mut grads[l];
+            gw.rank_one_update(inv_n, &delta, input);
+            for (b, dv) in gb.iter_mut().zip(delta.iter()) {
+                *b += inv_n * dv;
+            }
+            if l > 0 {
+                let mut prev = model.layer_weights(l).matvec_transposed(&delta);
+                for (p, &m) in prev.iter_mut().zip(masks[l - 1].iter()) {
+                    if !m {
+                        *p = 0.0;
+                    }
+                }
+                delta = prev;
+            }
+        }
+    }
+    let mut flat = Vec::with_capacity(model.num_params());
+    for (gw, gb) in &grads {
+        flat.extend_from_slice(gw.as_slice());
+        flat.extend_from_slice(gb);
+    }
+    (total_loss * inv_n, FlatParams(flat))
+}
+
+/// The seed's per-sample local SGD step (reference for the `engine` bench):
+/// per mini-batch it runs [`mlp_loss_and_gradient`] and applies the update
+/// through the allocating params/axpy/set_params round-trip.
+pub fn mlp_local_update_reference(
+    model: &mut Mlp,
+    shard: &Dataset,
+    cfg: &SgdConfig,
+    rng: &mut Rng64,
+) -> f64 {
+    cfg.validate();
+    assert!(!shard.is_empty(), "cannot train on an empty shard");
+    let batch = cfg.batch_size.min(shard.len());
+    let mut order: Vec<usize> = (0..shard.len()).collect();
+    let mut loss_sum = 0.0;
+    let mut batches = 0usize;
+    for _ in 0..cfg.local_epochs {
+        rng.shuffle(&mut order);
+        for chunk in order.chunks(batch) {
+            let (loss, grad) = mlp_loss_and_gradient(model, shard, chunk);
+            let mut p = model.params();
+            p.axpy(-cfg.learning_rate, &grad);
+            model.set_params(&p);
+            loss_sum += loss;
+            batches += 1;
+        }
+    }
+    loss_sum / batches as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedml::dataset::SyntheticSpec;
+
+    #[test]
+    fn reference_gradients_match_batched_engine() {
+        let mut rng = Rng64::seed_from(5);
+        let data = SyntheticSpec::mnist_like()
+            .with_samples_per_class(6)
+            .generate(&mut rng);
+        let indices: Vec<usize> = (0..24).collect();
+
+        let lr = LogisticRegression::new(data.num_features(), data.num_classes()).with_l2(0.01);
+        let (l_ref, g_ref) = logreg_loss_and_gradient(&lr, &data, &indices);
+        let (l_new, g_new) = lr.loss_and_gradient(&data, &indices);
+        assert!((l_ref - l_new).abs() < 1e-12);
+        for (a, b) in g_ref.0.iter().zip(g_new.0.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+
+        let mlp = Mlp::new(data.num_features(), &[9, 5], data.num_classes(), &mut rng);
+        let (l_ref, g_ref) = mlp_loss_and_gradient(&mlp, &data, &indices);
+        let (l_new, g_new) = mlp.loss_and_gradient(&data, &indices);
+        assert!((l_ref - l_new).abs() < 1e-12);
+        for (a, b) in g_ref.0.iter().zip(g_new.0.iter()) {
+            assert!((a - b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn reference_local_step_trains() {
+        let mut rng = Rng64::seed_from(6);
+        let data = SyntheticSpec::mnist_like()
+            .with_samples_per_class(8)
+            .generate(&mut rng);
+        let mut m = Mlp::new(data.num_features(), &[16], data.num_classes(), &mut rng);
+        let before = m.loss(&data);
+        let cfg = SgdConfig {
+            learning_rate: 0.2,
+            batch_size: 16,
+            local_epochs: 3,
+        };
+        mlp_local_update_reference(&mut m, &data, &cfg, &mut rng);
+        assert!(m.loss(&data) < before);
+    }
+}

@@ -1,0 +1,377 @@
+//! Offline stand-in for the `criterion` bench harness.
+//!
+//! The build container has no crates.io access, so this crate implements the
+//! subset of the criterion API the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros —
+//! on top of `std::time::Instant`. Statistics are intentionally simple
+//! (median / mean / min / max over fixed-length samples).
+//!
+//! Every bench binary writes its results as JSON so that perf baselines can
+//! be committed and diffed across PRs:
+//!
+//! * default path: `target/bench-json/<bench-binary>.json`
+//! * override with the `BENCH_JSON` environment variable.
+//!
+//! Swap the `criterion` path entry in the root `Cargo.toml` for the real
+//! crates.io criterion to get rigorous statistics; the bench sources compile
+//! unchanged.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark, as written to the JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark group name (empty for ungrouped benches).
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample in nanoseconds.
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Closure iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Benchmark driver; collects configuration and runs bench closures.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Set the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, "", name, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing one `Criterion` configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = self.name.clone();
+        run_bench(self.criterion, &group, name, f);
+        self
+    }
+
+    /// Run a parameterised benchmark inside this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let group = self.name.clone();
+        run_bench(self.criterion, &group, &id.0, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (kept for criterion API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `<name>/<parameter>` identifier.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Passed to bench closures; call [`Bencher::iter`] with the code to measure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    result: Option<(Vec<f64>, u64)>,
+}
+
+impl Bencher {
+    /// Measure the routine: warm up, pick an iteration count that fills the
+    /// per-sample budget, then record `sample_size` timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also yields a first throughput estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let per_sample_budget = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((per_sample_budget / est_ns).floor() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some((samples, iters));
+    }
+}
+
+fn run_bench<F>(config: &Criterion, group: &str, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size: config.sample_size,
+        measurement_time: config.measurement_time,
+        warm_up_time: config.warm_up_time,
+        result: None,
+    };
+    f(&mut bencher);
+    let Some((mut samples, iters)) = bencher.result else {
+        // The closure never called iter(); nothing to record.
+        return;
+    };
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("bench samples are finite"));
+    let median = if samples.len() % 2 == 1 {
+        samples[samples.len() / 2]
+    } else {
+        0.5 * (samples[samples.len() / 2 - 1] + samples[samples.len() / 2])
+    };
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let record = BenchRecord {
+        group: group.to_string(),
+        name: name.to_string(),
+        median_ns: median,
+        mean_ns: mean,
+        min_ns: samples[0],
+        max_ns: samples[samples.len() - 1],
+        samples: samples.len(),
+        iters_per_sample: iters,
+    };
+    let label = if group.is_empty() {
+        record.name.clone()
+    } else {
+        format!("{}/{}", record.group, record.name)
+    };
+    eprintln!(
+        "bench {label:<48} median {:>12}  mean {:>12}  ({} samples x {} iters)",
+        human_time(record.median_ns),
+        human_time(record.mean_ns),
+        record.samples,
+        record.iters_per_sample,
+    );
+    RECORDS
+        .lock()
+        .expect("bench record mutex poisoned")
+        .push(record);
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Write all recorded benchmarks as JSON. Called by `criterion_main!` after
+/// every group has run; also callable directly from a custom `main`.
+pub fn write_json_report() {
+    let records = RECORDS.lock().expect("bench record mutex poisoned");
+    let exe = std::env::current_exe().ok();
+    let bin = exe
+        .as_deref()
+        .and_then(|p| p.file_stem())
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "bench".to_string());
+    // Cargo appends a `-<hash>` to bench binary names; strip it for a stable
+    // file name.
+    let stem = match bin.rsplit_once('-') {
+        Some((head, tail)) if tail.len() == 16 && tail.chars().all(|c| c.is_ascii_hexdigit()) => {
+            head.to_string()
+        }
+        _ => bin,
+    };
+    // Anchor the default output under the build's target directory (the
+    // binary lives in <target>/<profile>/deps/), not the bench package's
+    // working directory.
+    let default_dir = exe
+        .as_deref()
+        .and_then(|p| p.ancestors().nth(3))
+        .map(|t| t.join("bench-json"))
+        .unwrap_or_else(|| std::path::PathBuf::from("target/bench-json"));
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| {
+        default_dir
+            .join(format!("{stem}.json"))
+            .display()
+            .to_string()
+    });
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}",
+            json_escape(&r.group),
+            json_escape(&r.name),
+            r.median_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 < records.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, out) {
+        Ok(()) => eprintln!("bench report written to {path}"),
+        Err(e) => eprintln!("warning: could not write bench report to {path}: {e}"),
+    }
+}
+
+/// Declare a group of benchmark functions (criterion-compatible forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the bench binary's `main`, running every group then writing the
+/// JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::write_json_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let records = RECORDS.lock().unwrap();
+        let r = records
+            .iter()
+            .find(|r| r.name == "noop")
+            .expect("record present");
+        assert_eq!(r.samples, 3);
+        assert!(r.median_ns >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("gemm", 64).0, "gemm/64");
+        assert_eq!(BenchmarkId::from_parameter(0.3).0, "0.3");
+    }
+
+    #[test]
+    fn human_time_scales() {
+        assert!(human_time(12.0).ends_with("ns"));
+        assert!(human_time(12_000.0).ends_with("us"));
+        assert!(human_time(12_000_000.0).ends_with("ms"));
+        assert!(human_time(12_000_000_000.0).ends_with('s'));
+    }
+}

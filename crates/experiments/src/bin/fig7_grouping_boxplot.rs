@@ -105,7 +105,11 @@ fn main() {
         for c in line.iter_mut().take(hi + 1).skip(lo) {
             *c = '=';
         }
-        println!("  group {:>2} |{}|", display_idx + 1, line.iter().collect::<String>());
+        println!(
+            "  group {:>2} |{}|",
+            display_idx + 1,
+            line.iter().collect::<String>()
+        );
     }
 
     try_write_csv("fig7_grouping.csv", &csv);

@@ -33,10 +33,7 @@ fn main() {
             cfg,
             &MechanismChoice::aircomp_trio(),
             &targets,
-            &format!(
-                "fig9_{}",
-                label.to_lowercase().replace([' ', '-'], "_")
-            ),
+            &format!("fig9_{}", label.to_lowercase().replace([' ', '-'], "_")),
             scale,
         );
         let mut table = Table::new(

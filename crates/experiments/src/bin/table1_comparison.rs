@@ -37,8 +37,15 @@ fn main() {
         // Constant per-worker shard size across the two population sizes, so
         // the scalability column measures the mechanisms, not shard shrinkage.
         cfg.dataset.samples_per_class = 30 * n / cfg.dataset.num_classes.max(1);
-        let summaries =
-            compare_mechanisms(&cfg, &mechanisms, rounds, scale.eval_every(), None, 42, 4242);
+        let summaries = compare_mechanisms(
+            &cfg,
+            &mechanisms,
+            rounds,
+            scale.eval_every(),
+            None,
+            42,
+            4242,
+        );
         for (row, s) in summaries.iter().enumerate() {
             avg_round[row][col] = s.average_round_time;
         }
@@ -71,7 +78,9 @@ fn main() {
     let aircomp = w.aircomp_aggregation_time(dim);
 
     // Straggler idle time: median worker latency vs group max latency.
-    let mut latencies: Vec<f64> = (0..n_large).map(|i| system.local_training_time(i)).collect();
+    let mut latencies: Vec<f64> = (0..n_large)
+        .map(|i| system.local_training_time(i))
+        .collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let median = latencies[n_large / 2];
     let max = latencies[n_large - 1];
@@ -103,11 +112,41 @@ fn main() {
         ],
     );
     let families: Vec<(&str, f64, f64, f64, usize)> = vec![
-        ("Synchronous (FedAvg)", oma_full, idle_sync, emd_all_workers, 0),
-        ("Asynchronous tiers (TiFL)", oma_tier, idle_airfedga, emd_tifl, 1),
-        ("AirComp+Sync subset (Dynamic)", aircomp, idle_sync, emd_single_worker, 2),
-        ("AirComp+Synchronous (Air-FedAvg)", aircomp, idle_sync, emd_all_workers, 3),
-        ("AirComp+Asynchronous (Air-FedGA)", aircomp, idle_airfedga, emd_airfedga, 4),
+        (
+            "Synchronous (FedAvg)",
+            oma_full,
+            idle_sync,
+            emd_all_workers,
+            0,
+        ),
+        (
+            "Asynchronous tiers (TiFL)",
+            oma_tier,
+            idle_airfedga,
+            emd_tifl,
+            1,
+        ),
+        (
+            "AirComp+Sync subset (Dynamic)",
+            aircomp,
+            idle_sync,
+            emd_single_worker,
+            2,
+        ),
+        (
+            "AirComp+Synchronous (Air-FedAvg)",
+            aircomp,
+            idle_sync,
+            emd_all_workers,
+            3,
+        ),
+        (
+            "AirComp+Asynchronous (Air-FedGA)",
+            aircomp,
+            idle_airfedga,
+            emd_airfedga,
+            4,
+        ),
     ];
     for (name, air_time, idle, emd, row) in families {
         let ratio = avg_round[row][1] / avg_round[row][0];

@@ -52,7 +52,14 @@ fn main() {
 
     let mut table = Table::new(
         "Theorem 1: convergence bound per grouping (epsilon = 1.0)",
-        &["grouping", "groups", "tau_max", "rho", "delta", "rounds to eps"],
+        &[
+            "grouping",
+            "groups",
+            "tau_max",
+            "rho",
+            "delta",
+            "rounds to eps",
+        ],
     );
     for (name, grouping) in [
         ("Air-FedGA (Alg. 3)", &airfedga_grouping),

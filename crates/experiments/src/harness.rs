@@ -70,6 +70,7 @@ impl MechanismChoice {
             total_rounds,
             eval_every,
             max_virtual_time,
+            parallel: true,
         };
         match self {
             MechanismChoice::AirFedGa => Box::new(AirFedGa::new(AirFedGaConfig {
@@ -215,15 +216,7 @@ mod tests {
     #[test]
     fn summary_reflects_trace_contents() {
         let cfg = FlSystemConfig::mnist_lr_quick();
-        let summaries = compare_mechanisms(
-            &cfg,
-            &[MechanismChoice::AirFedGa],
-            20,
-            2,
-            None,
-            3,
-            4,
-        );
+        let summaries = compare_mechanisms(&cfg, &[MechanismChoice::AirFedGa], 20, 2, None, 3, 4);
         let s = &summaries[0];
         assert_eq!(s.final_accuracy, s.trace.final_accuracy());
         assert_eq!(s.total_energy, s.trace.total_energy());

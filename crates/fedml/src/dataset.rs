@@ -76,6 +76,13 @@ impl Dataset {
         self.features.row(i)
     }
 
+    /// The full `len × num_features` feature matrix. The batched evaluation
+    /// path feeds contiguous row ranges of this matrix straight into GEMM,
+    /// avoiding any per-sample gather.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
     /// Label of sample `i`.
     pub fn label(&self, i: usize) -> usize {
         self.labels[i]
@@ -208,11 +215,8 @@ impl SyntheticSpec {
     /// test set measures generalisation on the same task).
     pub fn generate_split(&self, test_per_class: usize, rng: &mut Rng64) -> (Dataset, Dataset) {
         let means = self.class_means(rng);
-        let train = self.generate_from_means(
-            &means,
-            &vec![self.samples_per_class; self.num_classes],
-            rng,
-        );
+        let train =
+            self.generate_from_means(&means, &vec![self.samples_per_class; self.num_classes], rng);
         let test = self.generate_from_means(&means, &vec![test_per_class; self.num_classes], rng);
         (train, test)
     }

@@ -12,6 +12,28 @@
 //! [`dataset`] / [`partition`], and the local SGD update of Eq. (4) in
 //! [`optimizer`].
 //!
+//! ## The batched training engine
+//!
+//! Local training is the hot path of every experiment binary, so the numerical
+//! core is organised around **whole-mini-batch execution**:
+//!
+//! * [`linalg`] provides three register-tiled GEMM kernels — [`linalg::gemm_nt`]
+//!   (`Z = X · Wᵀ`, forward), [`linalg::gemm_tn`] (`∇W = δᵀ · X`, weight
+//!   gradient) and [`linalg::gemm_nn`] (`δ_prev = δ · W`, backward data pass) —
+//!   that write into caller-provided buffers.
+//! * [`workspace::Workspace`] is a checkout/checkin pool of scratch buffers;
+//!   each simulated worker owns one, so after the first mini-batch the
+//!   training loop performs **zero heap allocations**.
+//! * [`model::Model::loss_and_gradient_ws`] / [`model::Model::evaluate_ws`]
+//!   are the workspace-threaded entry points; [`optimizer::local_update_ws`]
+//!   drives them, applying updates with the in-place
+//!   [`model::Model::sgd_step`].
+//!
+//! The original per-sample implementation (matvec + rank-one update per
+//! sample) survives as the reference trainer in the `bench` crate, which the
+//! property tests compare against to 1e-10 and the criterion benches measure
+//! the batched engine's speedup against.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -41,10 +63,12 @@ pub mod optimizer;
 pub mod params;
 pub mod partition;
 pub mod rng;
+pub mod workspace;
 
 pub use dataset::{Dataset, SyntheticSpec};
-pub use model::{LogisticRegression, Mlp, Model};
-pub use optimizer::{local_update, SgdConfig};
+pub use model::{EvalStats, LogisticRegression, Mlp, Model};
+pub use optimizer::{local_update, local_update_ws, SgdConfig};
 pub use params::FlatParams;
 pub use partition::{LabelDistribution, Partitioner};
 pub use rng::Rng64;
+pub use workspace::Workspace;

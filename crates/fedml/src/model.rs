@@ -1,4 +1,4 @@
-//! Differentiable classification models.
+//! Differentiable classification models (batched engine).
 //!
 //! The paper trains three architectures (logistic regression, plain CNNs and
 //! VGG-16). The mechanisms under study never look inside the architecture —
@@ -14,29 +14,106 @@
 //!   are represented by deeper/wider MLP surrogates (constructors
 //!   [`Mlp::paper_lr`], [`Mlp::cnn_mnist_surrogate`],
 //!   [`Mlp::cnn_cifar_surrogate`], [`Mlp::vgg16_surrogate`]).
+//!
+//! # Batched execution
+//!
+//! Both models process a mini-batch as one `B × d` matrix per layer: the
+//! forward pass is a [`gemm_nt`] (`Z = X · Wᵀ`), the weight gradient a
+//! [`gemm_tn`] (`∇W = δᵀ · X`) and the backward data pass a [`gemm_nn`]
+//! (`δ_prev = δ · W`) — instead of the per-sample matvec + rank-one-update
+//! loop the first version of this crate used (kept as the reference
+//! implementation in the `bench` crate). All scratch memory comes from a
+//! caller-provided [`Workspace`], so the steady-state training loop
+//! ([`crate::optimizer::local_update_ws`]) performs **zero heap
+//! allocations**. The workspace-threaded entry points are
+//! [`Model::loss_and_gradient_ws`] (training) and [`Model::evaluate_ws`]
+//! (batched loss + accuracy in one pass); the allocation-per-call
+//! conveniences ([`Model::loss_and_gradient`], [`Model::loss`],
+//! [`Model::accuracy`]) wrap them.
 
 use crate::dataset::Dataset;
-use crate::linalg::{relu_in_place, Matrix};
-use crate::loss::cross_entropy_with_grad;
+use crate::linalg::{
+    add_row_bias, col_sums, col_sums_acc, gemm_nn, gemm_nt, gemm_tn, gemm_tn_acc,
+    relu_backward_batch, relu_batch_in_place, transpose, Matrix,
+};
+use crate::loss::{eval_logits_batch, softmax_cross_entropy_batch};
 use crate::params::FlatParams;
 use crate::rng::Rng64;
+use crate::workspace::Workspace;
+
+/// Number of evaluation rows processed per GEMM in [`Model::evaluate_ws`].
+/// Large enough to amortise the kernel, small enough that the logits buffer
+/// of the 100-class workload stays comfortably in L2.
+const EVAL_CHUNK: usize = 256;
+
+/// Loss and accuracy of one model over one dataset, computed in a single
+/// batched forward pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalStats {
+    /// Mean loss over the dataset (including any regularisation term).
+    pub loss: f64,
+    /// Fraction of samples whose argmax prediction matches the label.
+    pub accuracy: f64,
+}
 
 /// A differentiable multi-class classifier whose parameters can be flattened
 /// into a [`FlatParams`] vector for over-the-air transmission.
-pub trait Model: Send {
+///
+/// `Send + Sync` is part of the contract: mechanism engines hand shared
+/// references to the system (which holds a boxed template model) across the
+/// scoped thread pool while each worker mutates only its own model instance.
+pub trait Model: Send + Sync {
     /// Total number of scalar parameters `q` (the transmitted dimension).
     fn num_params(&self) -> usize;
 
-    /// Flatten the current parameters.
-    fn params(&self) -> FlatParams;
+    /// Write the current parameters into a pre-sized flat vector. Panics on
+    /// dimension mismatch. This is the zero-alloc counterpart of
+    /// [`Model::params`].
+    fn params_into(&self, out: &mut FlatParams);
 
     /// Overwrite the parameters from a flat vector. Panics on dimension
     /// mismatch.
     fn set_params(&mut self, params: &FlatParams);
 
     /// Average loss and average gradient over the given sample indices of
-    /// `data`. Panics if `indices` is empty.
-    fn loss_and_gradient(&self, data: &Dataset, indices: &[usize]) -> (f64, FlatParams);
+    /// `data`, written into `grad` (which must already have dimension
+    /// [`Model::num_params`]). All scratch memory is drawn from `ws`;
+    /// steady-state calls allocate nothing. Panics if `indices` is empty.
+    fn loss_and_gradient_ws(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        ws: &mut Workspace,
+        grad: &mut FlatParams,
+    ) -> f64;
+
+    /// In-place SGD step `w ← w − γ · grad`, avoiding the
+    /// params/axpy/set_params round-trip (two full parameter copies).
+    fn sgd_step(&mut self, learning_rate: f64, grad: &FlatParams);
+
+    /// One fused mini-batch SGD step: forward + backward + parameter update
+    /// in a single pass, returning the batch loss. The default implementation
+    /// materialises the gradient and calls [`Model::sgd_step`]; the batched
+    /// models override it to accumulate `−γ · δᵀ · X` directly into the
+    /// weights ([`gemm_tn_acc`]), never touching a gradient buffer.
+    fn sgd_batch_ws(
+        &mut self,
+        data: &Dataset,
+        indices: &[usize],
+        learning_rate: f64,
+        ws: &mut Workspace,
+    ) -> f64 {
+        let mut grad = FlatParams(ws.take(self.num_params()));
+        let loss = self.loss_and_gradient_ws(data, indices, ws, &mut grad);
+        self.sgd_step(learning_rate, &grad);
+        ws.give(grad.0);
+        loss
+    }
+
+    /// Mean loss and accuracy over an entire dataset in one batched forward
+    /// pass over the dataset's contiguous feature matrix (no per-sample
+    /// gather, no gradient work).
+    fn evaluate_ws(&self, data: &Dataset, ws: &mut Workspace) -> EvalStats;
 
     /// Predicted class of a single feature vector.
     fn predict(&self, x: &[f64]) -> usize;
@@ -45,11 +122,26 @@ pub trait Model: Send {
     /// per worker).
     fn clone_model(&self) -> Box<dyn Model>;
 
+    /// Flatten the current parameters (provided method; allocates).
+    fn params(&self) -> FlatParams {
+        let mut out = FlatParams::zeros(self.num_params());
+        self.params_into(&mut out);
+        out
+    }
+
+    /// Average loss and average gradient over the given sample indices
+    /// (provided method; allocates a fresh workspace and gradient).
+    fn loss_and_gradient(&self, data: &Dataset, indices: &[usize]) -> (f64, FlatParams) {
+        let mut ws = Workspace::new();
+        let mut grad = FlatParams::zeros(self.num_params());
+        let loss = self.loss_and_gradient_ws(data, indices, &mut ws, &mut grad);
+        (loss, grad)
+    }
+
     /// Average loss over an entire dataset (provided method).
     fn loss(&self, data: &Dataset) -> f64 {
         assert!(!data.is_empty(), "loss over an empty dataset");
-        let indices: Vec<usize> = (0..data.len()).collect();
-        self.loss_and_gradient(data, &indices).0
+        self.evaluate_ws(data, &mut Workspace::new()).loss
     }
 
     /// Average gradient over the given indices (provided method).
@@ -68,10 +160,7 @@ pub trait Model: Send {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = (0..data.len())
-            .filter(|&i| self.predict(data.sample(i)) == data.label(i))
-            .count();
-        correct as f64 / data.len() as f64
+        self.evaluate_ws(data, &mut Workspace::new()).accuracy
     }
 }
 
@@ -79,6 +168,19 @@ impl Clone for Box<dyn Model> {
     fn clone(&self) -> Self {
         self.clone_model()
     }
+}
+
+/// Gather the feature rows and labels of `indices` into workspace buffers.
+/// Returns `(features B × d, labels)`.
+fn gather_batch(data: &Dataset, indices: &[usize], ws: &mut Workspace) -> (Vec<f64>, Vec<usize>) {
+    let d = data.num_features();
+    let mut x = ws.take(indices.len() * d);
+    let mut labels = ws.take_indices(indices.len());
+    for (row, &i) in indices.iter().enumerate() {
+        x[row * d..(row + 1) * d].copy_from_slice(data.sample(i));
+        labels.push(data.label(i));
+    }
+    (x, labels)
 }
 
 /// Multinomial logistic regression with optional L2 (ridge) regularisation.
@@ -115,6 +217,49 @@ impl LogisticRegression {
         self.l2
     }
 
+    /// The `classes × features` weight matrix (read-only; used by the
+    /// per-sample reference implementation in the bench harness).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The per-class bias vector (read-only).
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// Batched forward + loss head shared by the gradient and fused-update
+    /// paths: gathers the batch, computes `Z = X · Wᵀ + b` through the
+    /// k-major kernel, and transforms `Z` in place into the scaled head
+    /// delta. Returns `(x, labels, delta, summed unscaled loss)`; the three
+    /// buffers come from `ws` and must be given back.
+    fn forward_head(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        ws: &mut Workspace,
+    ) -> (Vec<f64>, Vec<usize>, Vec<f64>, f64) {
+        assert!(!indices.is_empty(), "gradient over an empty batch");
+        assert_eq!(
+            data.num_features(),
+            self.num_features(),
+            "dataset feature dimension mismatch"
+        );
+        let k = self.num_classes();
+        let d = self.num_features();
+        let bsz = indices.len();
+        let (x, labels) = gather_batch(data, indices, ws);
+        let mut wt = ws.take(k * d);
+        transpose(self.weights.as_slice(), &mut wt, k, d);
+        let mut z = ws.take(bsz * k);
+        gemm_nn(&x, &wt, &mut z, bsz, k, d);
+        ws.give(wt);
+        add_row_bias(&mut z, &self.bias, bsz);
+        // Head: Z becomes delta = (softmax − onehot) / B in place.
+        let loss_sum = softmax_cross_entropy_batch(&mut z, &labels, k, 1.0 / bsz as f64);
+        (x, labels, z, loss_sum)
+    }
+
     fn logits(&self, x: &[f64]) -> Vec<f64> {
         let mut z = self.weights.matvec(x);
         for (zi, b) in z.iter_mut().zip(self.bias.iter()) {
@@ -137,11 +282,11 @@ impl Model for LogisticRegression {
         self.weights.rows() * self.weights.cols() + self.bias.len()
     }
 
-    fn params(&self) -> FlatParams {
-        let mut v = Vec::with_capacity(self.num_params());
-        v.extend_from_slice(self.weights.as_slice());
-        v.extend_from_slice(&self.bias);
-        FlatParams(v)
+    fn params_into(&self, out: &mut FlatParams) {
+        assert_eq!(out.dim(), self.num_params(), "parameter size mismatch");
+        let wlen = self.weights.rows() * self.weights.cols();
+        out.0[..wlen].copy_from_slice(self.weights.as_slice());
+        out.0[wlen..].copy_from_slice(&self.bias);
     }
 
     fn set_params(&mut self, params: &FlatParams) {
@@ -153,8 +298,90 @@ impl Model for LogisticRegression {
         self.bias.copy_from_slice(&params.0[wlen..]);
     }
 
-    fn loss_and_gradient(&self, data: &Dataset, indices: &[usize]) -> (f64, FlatParams) {
-        assert!(!indices.is_empty(), "gradient over an empty batch");
+    fn loss_and_gradient_ws(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        ws: &mut Workspace,
+        grad: &mut FlatParams,
+    ) -> f64 {
+        assert_eq!(grad.dim(), self.num_params(), "gradient size mismatch");
+        let k = self.num_classes();
+        let d = self.num_features();
+        let bsz = indices.len();
+
+        let (x, labels, z, loss_sum) = self.forward_head(data, indices, ws);
+
+        // Backward: ∇W = δᵀ · X, ∇b = column sums of δ, written straight into
+        // the flat gradient.
+        let (gw, gb) = grad.0.split_at_mut(k * d);
+        gemm_tn(&z, &x, gw, k, d, bsz);
+        col_sums(&z, bsz, gb);
+
+        let mut loss = loss_sum / bsz as f64;
+        // L2 regularisation on the weight matrix (not the bias).
+        if self.l2 > 0.0 {
+            loss += 0.5 * self.l2 * self.weights.frobenius_sq();
+            for (g, w) in gw.iter_mut().zip(self.weights.as_slice().iter()) {
+                *g += self.l2 * w;
+            }
+        }
+        ws.give(x);
+        ws.give(z);
+        ws.give_indices(labels);
+        loss
+    }
+
+    fn sgd_step(&mut self, learning_rate: f64, grad: &FlatParams) {
+        assert_eq!(grad.dim(), self.num_params(), "gradient size mismatch");
+        let wlen = self.weights.rows() * self.weights.cols();
+        crate::linalg::axpy(-learning_rate, &grad.0[..wlen], self.weights.as_mut_slice());
+        crate::linalg::axpy(-learning_rate, &grad.0[wlen..], &mut self.bias);
+    }
+
+    fn sgd_batch_ws(
+        &mut self,
+        data: &Dataset,
+        indices: &[usize],
+        learning_rate: f64,
+        ws: &mut Workspace,
+    ) -> f64 {
+        let k = self.num_classes();
+        let d = self.num_features();
+        let bsz = indices.len();
+
+        let (x, labels, z, loss_sum) = self.forward_head(data, indices, ws);
+
+        let mut loss = loss_sum / bsz as f64;
+        if self.l2 > 0.0 {
+            loss += 0.5 * self.l2 * self.weights.frobenius_sq();
+            // The −γ · l2 · W part of the step, applied to the old weights.
+            self.weights.scale(1.0 - learning_rate * self.l2);
+        }
+        // Fused update: W += −γ · δᵀ · X, b += −γ · Σ δ.
+        gemm_tn_acc(
+            &z,
+            &x,
+            self.weights.as_mut_slice(),
+            k,
+            d,
+            bsz,
+            -learning_rate,
+        );
+        col_sums_acc(&z, bsz, &mut self.bias, -learning_rate);
+        ws.give(x);
+        ws.give(z);
+        ws.give_indices(labels);
+        loss
+    }
+
+    fn evaluate_ws(&self, data: &Dataset, ws: &mut Workspace) -> EvalStats {
+        if data.is_empty() {
+            return EvalStats {
+                loss: 0.0,
+                accuracy: 0.0,
+            };
+        }
         assert_eq!(
             data.num_features(),
             self.num_features(),
@@ -162,35 +389,39 @@ impl Model for LogisticRegression {
         );
         let k = self.num_classes();
         let d = self.num_features();
-        let mut grad_w = Matrix::zeros(k, d);
-        let mut grad_b = vec![0.0; k];
-        let mut total_loss = 0.0;
-        let inv_n = 1.0 / indices.len() as f64;
-        for &i in indices {
-            let x = data.sample(i);
-            let (loss, dlogits) = cross_entropy_with_grad(&self.logits(x), data.label(i));
-            total_loss += loss;
-            grad_w.rank_one_update(inv_n, &dlogits, x);
-            for (gb, dl) in grad_b.iter_mut().zip(dlogits.iter()) {
-                *gb += inv_n * dl;
-            }
+        let n = data.len();
+        let mut wt = ws.take(k * d);
+        transpose(self.weights.as_slice(), &mut wt, k, d);
+        let mut z = ws.take(EVAL_CHUNK.min(n) * k);
+        let mut labels = ws.take_indices(EVAL_CHUNK.min(n));
+        let mut loss_sum = 0.0;
+        let mut correct = 0usize;
+        let features = data.features().as_slice();
+        let mut r0 = 0;
+        while r0 < n {
+            let rows = (n - r0).min(EVAL_CHUNK);
+            let x = &features[r0 * d..(r0 + rows) * d];
+            let zc = &mut z[..rows * k];
+            gemm_nn(x, &wt, zc, rows, k, d);
+            add_row_bias(zc, &self.bias, rows);
+            labels.clear();
+            labels.extend((r0..r0 + rows).map(|r| data.label(r)));
+            let (l, c) = eval_logits_batch(zc, &labels, k);
+            loss_sum += l;
+            correct += c;
+            r0 += rows;
         }
-        let mut loss = total_loss * inv_n;
-        // L2 regularisation on the weight matrix (not the bias).
+        ws.give(wt);
+        ws.give(z);
+        ws.give_indices(labels);
+        let mut loss = loss_sum / n as f64;
         if self.l2 > 0.0 {
             loss += 0.5 * self.l2 * self.weights.frobenius_sq();
-            for (g, w) in grad_w
-                .as_mut_slice()
-                .iter_mut()
-                .zip(self.weights.as_slice().iter())
-            {
-                *g += self.l2 * w;
-            }
         }
-        let mut flat = Vec::with_capacity(self.num_params());
-        flat.extend_from_slice(grad_w.as_slice());
-        flat.extend_from_slice(&grad_b);
-        (loss, FlatParams(flat))
+        EvalStats {
+            loss,
+            accuracy: correct as f64 / n as f64,
+        }
     }
 
     fn predict(&self, x: &[f64]) -> usize {
@@ -224,12 +455,12 @@ impl DenseLayer {
         self.weights.rows() * self.weights.cols() + self.bias.len()
     }
 
-    fn forward(&self, x: &[f64]) -> Vec<f64> {
-        let mut z = self.weights.matvec(x);
-        for (zi, b) in z.iter_mut().zip(self.bias.iter()) {
-            *zi += b;
-        }
-        z
+    fn in_width(&self) -> usize {
+        self.weights.cols()
+    }
+
+    fn out_width(&self) -> usize {
+        self.weights.rows()
     }
 }
 
@@ -245,13 +476,11 @@ impl Mlp {
     /// Create an MLP with the given hidden-layer widths. `hidden` may be
     /// empty, in which case the model degenerates to (unregularised)
     /// multinomial logistic regression.
-    pub fn new(
-        num_features: usize,
-        hidden: &[usize],
-        num_classes: usize,
-        rng: &mut Rng64,
-    ) -> Self {
-        assert!(num_features > 0 && num_classes > 1, "degenerate model shape");
+    pub fn new(num_features: usize, hidden: &[usize], num_classes: usize, rng: &mut Rng64) -> Self {
+        assert!(
+            num_features > 0 && num_classes > 1,
+            "degenerate model shape"
+        );
         let mut sizes = Vec::with_capacity(hidden.len() + 2);
         sizes.push(num_features);
         sizes.extend_from_slice(hidden);
@@ -304,24 +533,116 @@ impl Mlp {
         self.num_classes
     }
 
-    /// Forward pass of one sample, returning the activations of every layer
-    /// input plus the final logits, and the ReLU masks. Needed by backprop.
-    fn forward_trace(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<bool>>, Vec<f64>) {
-        let mut activations: Vec<Vec<f64>> = vec![x.to_vec()];
-        let mut masks: Vec<Vec<bool>> = Vec::with_capacity(self.layers.len().saturating_sub(1));
-        let mut current = x.to_vec();
-        for (li, layer) in self.layers.iter().enumerate() {
-            let mut z = layer.forward(&current);
-            if li + 1 < self.layers.len() {
-                let mask = relu_in_place(&mut z);
-                masks.push(mask);
-                activations.push(z.clone());
-                current = z;
-            } else {
-                return (activations, masks, z);
+    /// The `out × in` weight matrix of layer `l` (read-only; used by the
+    /// per-sample reference implementation in the bench harness).
+    pub fn layer_weights(&self, l: usize) -> &Matrix {
+        &self.layers[l].weights
+    }
+
+    /// The bias vector of layer `l` (read-only).
+    pub fn layer_bias(&self, l: usize) -> &[f64] {
+        &self.layers[l].bias
+    }
+
+    /// Widest activation any batch row produces (used to size the ping-pong
+    /// delta buffers).
+    fn max_width(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.out_width())
+            .max()
+            .expect("an Mlp always has at least one layer")
+    }
+
+    /// Flat-gradient offset of layer `l`'s weight block.
+    fn grad_offset(&self, l: usize) -> usize {
+        self.layers[..l].iter().map(|x| x.num_params()).sum()
+    }
+
+    /// Transpose every layer's weights into one workspace buffer (O(q)) so
+    /// the forward GEMMs run through the vectorised k-major kernel. Layer
+    /// `l`'s block starts at the running sum of the preceding
+    /// `in_width · out_width` lengths — the same walk the forward passes do.
+    fn transpose_weights(&self, ws: &mut Workspace) -> Vec<f64> {
+        let wlen_total: usize = self
+            .layers
+            .iter()
+            .map(|l| l.in_width() * l.out_width())
+            .sum();
+        let mut wts = ws.take(wlen_total);
+        let mut off = 0;
+        for layer in &self.layers {
+            let len = layer.in_width() * layer.out_width();
+            transpose(
+                layer.weights.as_slice(),
+                &mut wts[off..off + len],
+                layer.out_width(),
+                layer.in_width(),
+            );
+            off += len;
+        }
+        wts
+    }
+
+    /// Batched forward pass shared by the gradient and fused-update paths.
+    ///
+    /// Gathers the batch, transposes every layer's weights once, and runs one
+    /// GEMM per layer; on return `acts` holds every layer's activations in
+    /// one contiguous buffer (`bounds` marks the segments; the last segment
+    /// carries the logits) and `wts` the transposed weights. All four
+    /// returned buffers come from `ws` and must be given back.
+    #[allow(clippy::type_complexity)]
+    fn batch_forward(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        ws: &mut Workspace,
+    ) -> (Vec<f64>, Vec<usize>, Vec<usize>, Vec<f64>) {
+        let bsz = indices.len();
+        let depth = self.layers.len();
+        let mut bounds = ws.take_indices(depth + 2);
+        bounds.push(0);
+        let mut total = bsz * self.num_features;
+        bounds.push(total);
+        for layer in &self.layers {
+            total += bsz * layer.out_width();
+            bounds.push(total);
+        }
+        let mut acts = ws.take(total);
+        let mut labels = ws.take_indices(bsz);
+        {
+            let d = self.num_features;
+            let x = &mut acts[..bsz * d];
+            for (row, &i) in indices.iter().enumerate() {
+                x[row * d..(row + 1) * d].copy_from_slice(data.sample(i));
+                labels.push(data.label(i));
             }
         }
-        unreachable!("an Mlp always has at least one layer");
+
+        let wts = self.transpose_weights(ws);
+
+        // Forward pass, one GEMM per layer over the whole batch.
+        let mut woff = 0;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (head, tail) = acts.split_at_mut(bounds[l + 1]);
+            let input = &head[bounds[l]..];
+            let out = &mut tail[..bsz * layer.out_width()];
+            let wlen = layer.in_width() * layer.out_width();
+            gemm_nn(
+                input,
+                &wts[woff..woff + wlen],
+                out,
+                bsz,
+                layer.out_width(),
+                layer.in_width(),
+            );
+            woff += wlen;
+            add_row_bias(out, &layer.bias, bsz);
+            if l + 1 < depth {
+                relu_batch_in_place(out);
+            }
+        }
+        (acts, bounds, labels, wts)
     }
 }
 
@@ -330,13 +651,17 @@ impl Model for Mlp {
         self.layers.iter().map(|l| l.num_params()).sum()
     }
 
-    fn params(&self) -> FlatParams {
-        let mut v = Vec::with_capacity(self.num_params());
+    fn params_into(&self, out: &mut FlatParams) {
+        assert_eq!(out.dim(), self.num_params(), "parameter size mismatch");
+        let mut offset = 0;
         for l in &self.layers {
-            v.extend_from_slice(l.weights.as_slice());
-            v.extend_from_slice(&l.bias);
+            let wlen = l.weights.rows() * l.weights.cols();
+            out.0[offset..offset + wlen].copy_from_slice(l.weights.as_slice());
+            offset += wlen;
+            out.0[offset..offset + l.bias.len()].copy_from_slice(&l.bias);
+            offset += l.bias.len();
         }
-        FlatParams(v)
+        debug_assert_eq!(offset, out.dim());
     }
 
     fn set_params(&mut self, params: &FlatParams) {
@@ -355,62 +680,263 @@ impl Model for Mlp {
         debug_assert_eq!(offset, params.dim());
     }
 
-    fn loss_and_gradient(&self, data: &Dataset, indices: &[usize]) -> (f64, FlatParams) {
+    fn loss_and_gradient_ws(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        ws: &mut Workspace,
+        grad: &mut FlatParams,
+    ) -> f64 {
         assert!(!indices.is_empty(), "gradient over an empty batch");
         assert_eq!(
             data.num_features(),
             self.num_features,
             "dataset feature dimension mismatch"
         );
-        let inv_n = 1.0 / indices.len() as f64;
-        let mut grads: Vec<(Matrix, Vec<f64>)> = self
-            .layers
-            .iter()
-            .map(|l| {
-                (
-                    Matrix::zeros(l.weights.rows(), l.weights.cols()),
-                    vec![0.0; l.bias.len()],
-                )
-            })
-            .collect();
-        let mut total_loss = 0.0;
-        for &i in indices {
-            let x = data.sample(i);
-            let (activations, masks, logits) = self.forward_trace(x);
-            let (loss, mut delta) = cross_entropy_with_grad(&logits, data.label(i));
-            total_loss += loss;
-            // Backward pass.
-            for li in (0..self.layers.len()).rev() {
-                let input = &activations[li];
-                let (gw, gb) = &mut grads[li];
-                gw.rank_one_update(inv_n, &delta, input);
-                for (b, d) in gb.iter_mut().zip(delta.iter()) {
-                    *b += inv_n * d;
-                }
-                if li > 0 {
-                    // Propagate through the layer weights, then the ReLU mask
-                    // of the previous hidden activation.
-                    let mut prev = self.layers[li].weights.matvec_transposed(&delta);
-                    for (p, &m) in prev.iter_mut().zip(masks[li - 1].iter()) {
-                        if !m {
-                            *p = 0.0;
-                        }
-                    }
-                    delta = prev;
-                }
+        assert_eq!(grad.dim(), self.num_params(), "gradient size mismatch");
+        let bsz = indices.len();
+        let inv_n = 1.0 / bsz as f64;
+        let depth = self.layers.len();
+        let k = self.num_classes;
+
+        let (mut acts, bounds, labels, wts) = self.batch_forward(data, indices, ws);
+
+        // Head: logits → delta = (softmax − onehot) / B, in place.
+        let loss_sum = {
+            let logits = &mut acts[bounds[depth]..];
+            softmax_cross_entropy_batch(logits, &labels, k, inv_n)
+        };
+
+        // Backward pass with two ping-pong delta buffers.
+        let maxw = self.max_width();
+        let mut cur = ws.take(bsz * maxw);
+        let mut nxt = ws.take(bsz * maxw);
+        cur[..bsz * k].copy_from_slice(&acts[bounds[depth]..]);
+        for l in (0..depth).rev() {
+            let layer = &self.layers[l];
+            let (in_w, out_w) = (layer.in_width(), layer.out_width());
+            let input = &acts[bounds[l]..bounds[l + 1]];
+            let offset = self.grad_offset(l);
+            let wlen = out_w * in_w;
+            let (gw, gb) = grad.0[offset..offset + wlen + out_w].split_at_mut(wlen);
+            gemm_tn(&cur[..bsz * out_w], input, gw, out_w, in_w, bsz);
+            col_sums(&cur[..bsz * out_w], bsz, gb);
+            if l > 0 {
+                // δ_prev = δ · W, masked by the previous post-ReLU activation.
+                gemm_nn(
+                    &cur[..bsz * out_w],
+                    layer.weights.as_slice(),
+                    &mut nxt[..bsz * in_w],
+                    bsz,
+                    in_w,
+                    out_w,
+                );
+                relu_backward_batch(&mut nxt[..bsz * in_w], input);
+                std::mem::swap(&mut cur, &mut nxt);
             }
         }
-        let mut flat = Vec::with_capacity(self.num_params());
-        for (gw, gb) in &grads {
-            flat.extend_from_slice(gw.as_slice());
-            flat.extend_from_slice(gb);
+
+        ws.give(acts);
+        ws.give(wts);
+        ws.give(cur);
+        ws.give(nxt);
+        ws.give_indices(labels);
+        ws.give_indices(bounds);
+        loss_sum * inv_n
+    }
+
+    fn sgd_step(&mut self, learning_rate: f64, grad: &FlatParams) {
+        assert_eq!(grad.dim(), self.num_params(), "gradient size mismatch");
+        let mut offset = 0;
+        for l in &mut self.layers {
+            let wlen = l.weights.rows() * l.weights.cols();
+            crate::linalg::axpy(
+                -learning_rate,
+                &grad.0[offset..offset + wlen],
+                l.weights.as_mut_slice(),
+            );
+            offset += wlen;
+            crate::linalg::axpy(
+                -learning_rate,
+                &grad.0[offset..offset + l.bias.len()],
+                &mut l.bias,
+            );
+            offset += l.bias.len();
         }
-        (total_loss * inv_n, FlatParams(flat))
+    }
+
+    fn sgd_batch_ws(
+        &mut self,
+        data: &Dataset,
+        indices: &[usize],
+        learning_rate: f64,
+        ws: &mut Workspace,
+    ) -> f64 {
+        assert!(!indices.is_empty(), "gradient over an empty batch");
+        assert_eq!(
+            data.num_features(),
+            self.num_features,
+            "dataset feature dimension mismatch"
+        );
+        let bsz = indices.len();
+        let inv_n = 1.0 / bsz as f64;
+        let depth = self.layers.len();
+        let k = self.num_classes;
+
+        let (mut acts, bounds, labels, wts) = self.batch_forward(data, indices, ws);
+        let loss_sum = {
+            let logits = &mut acts[bounds[depth]..];
+            softmax_cross_entropy_batch(logits, &labels, k, inv_n)
+        };
+
+        // Fused backward: per layer, propagate the delta through the *old*
+        // weights first, then accumulate −γ · δᵀ · A straight into the
+        // weights and −γ · Σ δ into the bias — no gradient buffer.
+        let maxw = self.max_width();
+        let mut cur = ws.take(bsz * maxw);
+        let mut nxt = ws.take(bsz * maxw);
+        cur[..bsz * k].copy_from_slice(&acts[bounds[depth]..]);
+        for l in (0..depth).rev() {
+            let (in_w, out_w) = (self.layers[l].in_width(), self.layers[l].out_width());
+            let input = &acts[bounds[l]..bounds[l + 1]];
+            if l > 0 {
+                gemm_nn(
+                    &cur[..bsz * out_w],
+                    self.layers[l].weights.as_slice(),
+                    &mut nxt[..bsz * in_w],
+                    bsz,
+                    in_w,
+                    out_w,
+                );
+                relu_backward_batch(&mut nxt[..bsz * in_w], input);
+            }
+            let layer = &mut self.layers[l];
+            gemm_tn_acc(
+                &cur[..bsz * out_w],
+                input,
+                layer.weights.as_mut_slice(),
+                out_w,
+                in_w,
+                bsz,
+                -learning_rate,
+            );
+            col_sums_acc(&cur[..bsz * out_w], bsz, &mut layer.bias, -learning_rate);
+            if l > 0 {
+                std::mem::swap(&mut cur, &mut nxt);
+            }
+        }
+
+        ws.give(acts);
+        ws.give(wts);
+        ws.give(cur);
+        ws.give(nxt);
+        ws.give_indices(labels);
+        ws.give_indices(bounds);
+        loss_sum * inv_n
+    }
+
+    fn evaluate_ws(&self, data: &Dataset, ws: &mut Workspace) -> EvalStats {
+        if data.is_empty() {
+            return EvalStats {
+                loss: 0.0,
+                accuracy: 0.0,
+            };
+        }
+        assert_eq!(
+            data.num_features(),
+            self.num_features,
+            "dataset feature dimension mismatch"
+        );
+        let n = data.len();
+        let k = self.num_classes;
+        let depth = self.layers.len();
+        let chunk = EVAL_CHUNK.min(n);
+        let maxw = self.max_width();
+        let mut cur = ws.take(chunk * maxw);
+        let mut nxt = ws.take(chunk * maxw);
+        let mut labels = ws.take_indices(chunk);
+        // Transpose every layer's weights once for the whole evaluation.
+        let wts = self.transpose_weights(ws);
+        let features = data.features().as_slice();
+        let d = self.num_features;
+        let mut loss_sum = 0.0;
+        let mut correct = 0usize;
+        let mut r0 = 0;
+        while r0 < n {
+            let rows = (n - r0).min(EVAL_CHUNK);
+            let mut woff = 0;
+            // First layer reads the dataset's feature matrix directly.
+            {
+                let layer = &self.layers[0];
+                let x = &features[r0 * d..(r0 + rows) * d];
+                let out = &mut cur[..rows * layer.out_width()];
+                let wlen = layer.in_width() * layer.out_width();
+                gemm_nn(x, &wts[..wlen], out, rows, layer.out_width(), d);
+                woff += wlen;
+                add_row_bias(out, &layer.bias, rows);
+                if depth > 1 {
+                    relu_batch_in_place(out);
+                }
+            }
+            for (l, layer) in self.layers.iter().enumerate().skip(1) {
+                let input = &cur[..rows * layer.in_width()];
+                let out = &mut nxt[..rows * layer.out_width()];
+                let wlen = layer.in_width() * layer.out_width();
+                gemm_nn(
+                    input,
+                    &wts[woff..woff + wlen],
+                    out,
+                    rows,
+                    layer.out_width(),
+                    layer.in_width(),
+                );
+                woff += wlen;
+                add_row_bias(out, &layer.bias, rows);
+                if l + 1 < depth {
+                    relu_batch_in_place(out);
+                }
+                std::mem::swap(&mut cur, &mut nxt);
+            }
+            labels.clear();
+            labels.extend((r0..r0 + rows).map(|r| data.label(r)));
+            let (l, c) = eval_logits_batch(&cur[..rows * k], &labels, k);
+            loss_sum += l;
+            correct += c;
+            r0 += rows;
+        }
+        ws.give(cur);
+        ws.give(nxt);
+        ws.give(wts);
+        ws.give_indices(labels);
+        EvalStats {
+            loss: loss_sum / n as f64,
+            accuracy: correct as f64 / n as f64,
+        }
     }
 
     fn predict(&self, x: &[f64]) -> usize {
-        let (_, _, logits) = self.forward_trace(x);
-        argmax(&logits)
+        assert_eq!(x.len(), self.num_features, "feature dimension mismatch");
+        let depth = self.layers.len();
+        let mut cur = x.to_vec();
+        for (l, layer) in self.layers.iter().enumerate() {
+            let mut z = vec![0.0; layer.out_width()];
+            gemm_nt(
+                &cur,
+                layer.weights.as_slice(),
+                &mut z,
+                1,
+                layer.out_width(),
+                layer.in_width(),
+            );
+            for (zv, b) in z.iter_mut().zip(layer.bias.iter()) {
+                *zv += b;
+            }
+            if l + 1 < depth {
+                relu_batch_in_place(&mut z);
+            }
+            cur = z;
+        }
+        argmax(&cur)
     }
 
     fn clone_model(&self) -> Box<dyn Model> {
@@ -451,8 +977,12 @@ impl ModelKind {
     pub fn build(self, num_features: usize, num_classes: usize, rng: &mut Rng64) -> Box<dyn Model> {
         match self {
             ModelKind::PaperLr => Box::new(Mlp::paper_lr(num_features, num_classes, rng)),
-            ModelKind::CnnMnist => Box::new(Mlp::cnn_mnist_surrogate(num_features, num_classes, rng)),
-            ModelKind::CnnCifar => Box::new(Mlp::cnn_cifar_surrogate(num_features, num_classes, rng)),
+            ModelKind::CnnMnist => {
+                Box::new(Mlp::cnn_mnist_surrogate(num_features, num_classes, rng))
+            }
+            ModelKind::CnnCifar => {
+                Box::new(Mlp::cnn_cifar_surrogate(num_features, num_classes, rng))
+            }
             ModelKind::Vgg16 => Box::new(Mlp::vgg16_surrogate(num_features, num_classes, rng)),
             ModelKind::ConvexLr => {
                 Box::new(LogisticRegression::new(num_features, num_classes).with_l2(1e-3))
@@ -524,7 +1054,10 @@ mod tests {
         let indices: Vec<usize> = (0..10).collect();
         let (_, g) = m.loss_and_gradient(&data, &indices);
         let eps = 1e-5;
-        // Spot-check a handful of coordinates.
+        // Spot-check a handful of coordinates. Finite differences use the
+        // batch loss, so compute it through loss_and_gradient (the loss()
+        // shortcut evaluates the whole dataset).
+        let batch_loss = |model: &LogisticRegression| model.loss_and_gradient(&data, &indices).0;
         for &coord in &[0usize, 7, 63, 100, p.dim() - 1] {
             let mut plus = p.clone();
             plus.0[coord] += eps;
@@ -534,9 +1067,7 @@ mod tests {
             mp.set_params(&plus);
             let mut mm = m.clone();
             mm.set_params(&minus);
-            let fd = (mp.loss_and_gradient(&data, &indices).0
-                - mm.loss_and_gradient(&data, &indices).0)
-                / (2.0 * eps);
+            let fd = (batch_loss(&mp) - batch_loss(&mm)) / (2.0 * eps);
             assert!(
                 (fd - g.0[coord]).abs() < 1e-5,
                 "coord {coord}: fd {fd} vs analytic {}",
@@ -554,6 +1085,7 @@ mod tests {
         let indices: Vec<usize> = (0..6).collect();
         let (_, g) = m.loss_and_gradient(&data, &indices);
         let eps = 1e-5;
+        let batch_loss = |model: &Mlp| model.loss_and_gradient(&data, &indices).0;
         for &coord in &[0usize, 11, 101, p.dim() - 1] {
             let mut plus = p.clone();
             plus.0[coord] += eps;
@@ -563,9 +1095,7 @@ mod tests {
             mp.set_params(&plus);
             let mut mm = m.clone();
             mm.set_params(&minus);
-            let fd = (mp.loss_and_gradient(&data, &indices).0
-                - mm.loss_and_gradient(&data, &indices).0)
-                / (2.0 * eps);
+            let fd = (batch_loss(&mp) - batch_loss(&mm)) / (2.0 * eps);
             assert!(
                 (fd - g.0[coord]).abs() < 1e-4,
                 "coord {coord}: fd {fd} vs analytic {}",
@@ -582,9 +1112,7 @@ mod tests {
         let indices: Vec<usize> = (0..data.len()).collect();
         for _ in 0..60 {
             let g = m.gradient(&data, &indices);
-            let mut p = m.params();
-            p.axpy(-0.5, &g);
-            m.set_params(&p);
+            m.sgd_step(0.5, &g);
         }
         assert!(m.loss(&data) < initial_loss * 0.5);
         assert!(m.accuracy(&data) > 0.5, "accuracy {}", m.accuracy(&data));
@@ -598,11 +1126,62 @@ mod tests {
         let indices: Vec<usize> = (0..data.len()).collect();
         for _ in 0..80 {
             let g = m.gradient(&data, &indices);
-            let mut p = m.params();
-            p.axpy(-0.2, &g);
-            m.set_params(&p);
+            m.sgd_step(0.2, &g);
         }
         assert!(m.accuracy(&data) > 0.5, "accuracy {}", m.accuracy(&data));
+    }
+
+    #[test]
+    fn fused_sgd_batch_matches_gradient_then_step() {
+        let data = toy_data();
+        let mut rng = Rng64::seed_from(31);
+        let mut ws = Workspace::new();
+        let indices: Vec<usize> = (0..24).collect();
+        let lr = 0.21;
+
+        // MLP: fused path vs materialised gradient + step.
+        let mut fused = Mlp::new(data.num_features(), &[11, 7], data.num_classes(), &mut rng);
+        let mut split = fused.clone();
+        let loss_f = fused.sgd_batch_ws(&data, &indices, lr, &mut ws);
+        let (loss_s, g) = split.loss_and_gradient(&data, &indices);
+        split.sgd_step(lr, &g);
+        assert!((loss_f - loss_s).abs() < 1e-12);
+        for (a, b) in fused.params().0.iter().zip(split.params().0.iter()) {
+            assert!((a - b).abs() < 1e-12, "fused {a} vs split {b}");
+        }
+
+        // Logistic regression with L2 (exercises the scale-then-accumulate
+        // order of the fused regulariser).
+        let mut lr_fused =
+            LogisticRegression::new(data.num_features(), data.num_classes()).with_l2(0.03);
+        let mut p = lr_fused.params();
+        for v in p.0.iter_mut() {
+            *v = rng.gaussian_with(0.0, 0.2);
+        }
+        lr_fused.set_params(&p);
+        let mut lr_split = lr_fused.clone();
+        let loss_f = lr_fused.sgd_batch_ws(&data, &indices, lr, &mut ws);
+        let (loss_s, g) = lr_split.loss_and_gradient(&data, &indices);
+        lr_split.sgd_step(lr, &g);
+        assert!((loss_f - loss_s).abs() < 1e-12);
+        for (a, b) in lr_fused.params().0.iter().zip(lr_split.params().0.iter()) {
+            assert!((a - b).abs() < 1e-12, "fused {a} vs split {b}");
+        }
+    }
+
+    #[test]
+    fn sgd_step_matches_manual_axpy_roundtrip() {
+        let data = toy_data();
+        let mut rng = Rng64::seed_from(12);
+        let mut a = Mlp::new(data.num_features(), &[9, 7], data.num_classes(), &mut rng);
+        let mut b = a.clone();
+        let indices: Vec<usize> = (0..16).collect();
+        let g = a.gradient(&data, &indices);
+        a.sgd_step(0.37, &g);
+        let mut p = b.params();
+        p.axpy(-0.37, &g);
+        b.set_params(&p);
+        assert_eq!(a.params(), b.params());
     }
 
     #[test]
@@ -611,6 +1190,63 @@ mod tests {
         let m = LogisticRegression::new(data.num_features(), data.num_classes());
         let expected = (data.num_classes() as f64).ln();
         assert!((m.loss(&data) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_matches_loss_and_accuracy() {
+        let data = toy_data();
+        let mut rng = Rng64::seed_from(21);
+        let m = Mlp::new(data.num_features(), &[12], data.num_classes(), &mut rng);
+        let stats = m.evaluate_ws(&data, &mut Workspace::new());
+        assert!((stats.loss - m.loss(&data)).abs() < 1e-12);
+        assert!((stats.accuracy - m.accuracy(&data)).abs() < 1e-12);
+        // Per-sample predictions agree with the batched accuracy.
+        let correct = (0..data.len())
+            .filter(|&i| m.predict(data.sample(i)) == data.label(i))
+            .count();
+        assert!((stats.accuracy - correct as f64 / data.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluation_includes_l2_term_like_training_loss() {
+        let data = toy_data();
+        let mut rng = Rng64::seed_from(22);
+        let mut m = LogisticRegression::new(data.num_features(), data.num_classes()).with_l2(0.05);
+        let mut p = m.params();
+        for v in p.0.iter_mut() {
+            *v = rng.gaussian_with(0.0, 0.2);
+        }
+        m.set_params(&p);
+        let all: Vec<usize> = (0..data.len()).collect();
+        let (train_loss, _) = m.loss_and_gradient(&data, &all);
+        assert!((m.loss(&data) - train_loss).abs() < 1e-10);
+    }
+
+    #[test]
+    fn workspace_pool_stabilises_after_first_batch() {
+        let data = toy_data();
+        let mut rng = Rng64::seed_from(23);
+        let m = Mlp::new(data.num_features(), &[10, 6], data.num_classes(), &mut rng);
+        let mut ws = Workspace::new();
+        let mut grad = FlatParams::zeros(m.num_params());
+        let indices: Vec<usize> = (0..32).collect();
+        let l1 = m.loss_and_gradient_ws(&data, &indices, &mut ws, &mut grad);
+        let pooled = ws.pooled_buffers();
+        let g1 = grad.clone();
+        for _ in 0..5 {
+            let l = m.loss_and_gradient_ws(&data, &indices, &mut ws, &mut grad);
+            assert_eq!(
+                l.to_bits(),
+                l1.to_bits(),
+                "batched pass must be deterministic"
+            );
+            assert_eq!(
+                ws.pooled_buffers(),
+                pooled,
+                "steady state must not grow the pool"
+            );
+        }
+        assert_eq!(grad, g1);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::dataset::Dataset;
 use crate::model::Model;
 use crate::params::FlatParams;
 use crate::rng::Rng64;
+use crate::workspace::Workspace;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the worker-local SGD update.
@@ -51,29 +52,48 @@ impl SgdConfig {
 /// Perform the local update of Eq. (4) generalised to `local_epochs` epochs of
 /// mini-batch SGD, mutating `model` in place. Returns the average training
 /// loss observed over the processed batches.
+///
+/// Convenience wrapper over [`local_update_ws`] that allocates a throwaway
+/// [`Workspace`]; the mechanism simulators call the workspace-threaded
+/// version with each worker's persistent scratch pool instead.
 pub fn local_update(
     model: &mut dyn Model,
     shard: &Dataset,
     cfg: &SgdConfig,
     rng: &mut Rng64,
 ) -> f64 {
+    local_update_ws(model, shard, cfg, rng, &mut Workspace::new())
+}
+
+/// Workspace-threaded local SGD: the zero-steady-state-allocation hot loop of
+/// every mechanism simulation.
+///
+/// Per mini-batch this performs one fused forward/backward/update pass
+/// ([`Model::sgd_batch_ws`], all scratch from `ws`); the shuffle order and
+/// batch scratch are drawn from — and returned to — the pool, so after the
+/// first batch the loop touches the allocator not at all.
+pub fn local_update_ws(
+    model: &mut dyn Model,
+    shard: &Dataset,
+    cfg: &SgdConfig,
+    rng: &mut Rng64,
+    ws: &mut Workspace,
+) -> f64 {
     cfg.validate();
     assert!(!shard.is_empty(), "cannot train on an empty shard");
     let batch = cfg.batch_size.min(shard.len());
-    let mut order: Vec<usize> = (0..shard.len()).collect();
+    let mut order = ws.take_indices(shard.len());
+    order.extend(0..shard.len());
     let mut loss_sum = 0.0;
     let mut batches = 0usize;
     for _ in 0..cfg.local_epochs {
         rng.shuffle(&mut order);
         for chunk in order.chunks(batch) {
-            let (loss, grad) = model.loss_and_gradient(shard, chunk);
-            let mut p = model.params();
-            p.axpy(-cfg.learning_rate, &grad);
-            model.set_params(&p);
-            loss_sum += loss;
+            loss_sum += model.sgd_batch_ws(shard, chunk, cfg.learning_rate, ws);
             batches += 1;
         }
     }
+    ws.give_indices(order);
     loss_sum / batches as f64
 }
 
@@ -87,9 +107,7 @@ pub fn full_gradient_step(model: &mut dyn Model, shard: &Dataset, learning_rate:
     assert!(!shard.is_empty(), "cannot train on an empty shard");
     let indices: Vec<usize> = (0..shard.len()).collect();
     let (loss, grad) = model.loss_and_gradient(shard, &indices);
-    let mut p = model.params();
-    p.axpy(-learning_rate, &grad);
-    model.set_params(&p);
+    model.sgd_step(learning_rate, &grad);
     loss
 }
 
@@ -104,9 +122,37 @@ pub fn local_update_from(
     cfg: &SgdConfig,
     rng: &mut Rng64,
 ) -> (FlatParams, f64) {
+    let mut out = FlatParams::zeros(template.num_params());
+    let loss = local_update_from_ws(
+        template,
+        global,
+        shard,
+        cfg,
+        rng,
+        &mut Workspace::new(),
+        &mut out,
+    );
+    (out, loss)
+}
+
+/// Workspace-threaded variant of [`local_update_from`]: the resulting local
+/// parameters are written into `out` (pre-sized to the model dimension) and
+/// all scratch comes from `ws`, so the per-round worker loop of the
+/// mechanism engines allocates nothing in steady state.
+#[allow(clippy::too_many_arguments)]
+pub fn local_update_from_ws(
+    template: &mut dyn Model,
+    global: &FlatParams,
+    shard: &Dataset,
+    cfg: &SgdConfig,
+    rng: &mut Rng64,
+    ws: &mut Workspace,
+    out: &mut FlatParams,
+) -> f64 {
     template.set_params(global);
-    let loss = local_update(template, shard, cfg, rng);
-    (template.params(), loss)
+    let loss = local_update_ws(template, shard, cfg, rng, ws);
+    template.params_into(out);
+    loss
 }
 
 #[cfg(test)]

@@ -144,10 +144,9 @@ impl Partitioner {
             let class = w * k / num_workers;
             owners_per_class[class].push(w);
         }
-        for class in 0..k {
+        for (class, owners) in owners_per_class.iter().enumerate() {
             let mut idx = data.indices_of_class(class);
             rng.shuffle(&mut idx);
-            let owners = &owners_per_class[class];
             if owners.is_empty() {
                 // More classes than workers: spill onto a worker chosen by class index.
                 let w = class % num_workers;
@@ -217,11 +216,7 @@ impl Partitioner {
 
     /// Ensure no shard is empty by stealing one sample from the largest shard.
     fn repair_empty_shards(mut shards: Vec<Vec<usize>>, total: usize) -> Vec<Vec<usize>> {
-        loop {
-            let empty = match shards.iter().position(|s| s.is_empty()) {
-                Some(i) => i,
-                None => break,
-            };
+        while let Some(empty) = shards.iter().position(|s| s.is_empty()) {
             let donor = shards
                 .iter()
                 .enumerate()

@@ -2,47 +2,78 @@
 //!
 //! All stochastic components of the reproduction (synthetic data, channel
 //! fading, heterogeneity factors, SGD mini-batch sampling) draw from a
-//! [`Rng64`], a thin wrapper over a seeded [`rand::rngs::StdRng`] augmented
-//! with Gaussian sampling via the Box–Muller transform so that we do not need
-//! the `rand_distr` crate.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! [`Rng64`]: a self-contained xoshiro256++ generator seeded through
+//! SplitMix64, augmented with Gaussian sampling via the Box–Muller transform.
+//! Keeping the generator in-tree (rather than depending on `rand`) makes the
+//! whole workspace dependency-free and guarantees bit-identical streams on
+//! every platform and toolchain — which the mechanism-determinism tests rely
+//! on.
 
 /// Deterministic 64-bit-seeded random number generator used across the
 /// workspace.
 ///
-/// Wrapping a concrete RNG type in our own struct keeps the public API of the
-/// substrate crates independent of the `rand` crate version and centralises
-/// the Gaussian sampling logic.
+/// The core generator is xoshiro256++ (Blackman & Vigna), whose 256-bit state
+/// is expanded from the seed with SplitMix64 — the standard seeding procedure
+/// that guarantees a well-mixed nonzero state for every 64-bit seed.
 #[derive(Debug, Clone)]
 pub struct Rng64 {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second value of the most recent Box–Muller draw.
     spare_gaussian: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Rng64 {
     /// Create a generator from a 64-bit seed. Equal seeds yield identical
     /// streams on every platform.
     pub fn seed_from(seed: u64) -> Self {
+        let mut s = seed;
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
             spare_gaussian: None,
         }
+    }
+
+    /// Next raw 64-bit output of the xoshiro256++ generator.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent child generator. Used to give each simulated
     /// worker its own stream so that results do not depend on scheduling
     /// order.
     pub fn fork(&mut self, salt: u64) -> Self {
-        let s = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Self::seed_from(s)
     }
 
-    /// Uniform draw in `[0, 1)`.
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -52,9 +83,12 @@ impl Rng64 {
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() requires a non-empty range");
-        self.inner.gen_range(0..n)
+        // Lemire's widening-multiply range reduction; the modulo bias is at
+        // most n / 2^64, far below anything a simulation could observe.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
     }
 
     /// Standard-normal draw via the Box–Muller transform.
@@ -135,6 +169,19 @@ mod tests {
     }
 
     #[test]
+    fn zero_seed_is_well_mixed() {
+        // SplitMix64 seeding must not leave the all-zero state (which would
+        // lock xoshiro at zero forever).
+        let mut rng = Rng64::seed_from(0);
+        let draws: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&v| v != 0));
+        let mut uniq = draws.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), draws.len());
+    }
+
+    #[test]
     fn gaussian_moments_are_sane() {
         let mut rng = Rng64::seed_from(7);
         let n = 50_000;
@@ -155,11 +202,29 @@ mod tests {
     }
 
     #[test]
+    fn index_covers_the_range_uniformly() {
+        let mut rng = Rng64::seed_from(17);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.index(10)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..1300).contains(&c),
+                "bucket {i} has implausible count {c}"
+            );
+        }
+    }
+
+    #[test]
     fn exponential_mean_matches_rate() {
         let mut rng = Rng64::seed_from(11);
         let n = 40_000;
         let mean = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
-        assert!((mean - 0.5).abs() < 0.02, "exponential(2) mean {mean} != 0.5");
+        assert!(
+            (mean - 0.5).abs() < 0.02,
+            "exponential(2) mean {mean} != 0.5"
+        );
     }
 
     #[test]

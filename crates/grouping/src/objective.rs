@@ -225,8 +225,7 @@ impl GroupingObjective {
         // the data assigned so far; see the method docs).
         let assigned_data: usize = groups.iter().map(|g| slice_data_size(g, workers)).sum();
         let total_data = assigned_data as f64;
-        let global =
-            LabelDistribution::from_counts(&WorkerInfo::global_label_counts(workers));
+        let global = LabelDistribution::from_counts(&WorkerInfo::global_label_counts(workers));
         let mut psi_beta_sum = 0.0;
         let mut weighted_residual_numerator = 0.0;
         for (j, g) in groups.iter().enumerate() {
@@ -359,8 +358,11 @@ mod tests {
     #[test]
     fn infeasible_when_epsilon_too_small() {
         let ws = workers();
-        let mut c = ObjectiveConstants::default();
-        c.epsilon = 1e-9; // residual error can never be below this target
+        let c = ObjectiveConstants {
+            // Residual error can never be below this target.
+            epsilon: 1e-9,
+            ..ObjectiveConstants::default()
+        };
         let obj = GroupingObjective::new(0.5, 1.0, c);
         let skewed = Grouping::new((0..5).map(|i| vec![2 * i, 2 * i + 1]).collect(), 10);
         assert!(obj.evaluate(&skewed, &ws).is_infinite());

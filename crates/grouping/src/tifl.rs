@@ -78,16 +78,19 @@ mod tests {
         let g = tifl_grouping(&ws, 5);
         let tier_max: Vec<f64> = (0..5).map(|j| g.group_max_latency(j, &ws)).collect();
         for pair in tier_max.windows(2) {
-            assert!(pair[0] <= pair[1], "tiers not latency ordered: {tier_max:?}");
+            assert!(
+                pair[0] <= pair[1],
+                "tiers not latency ordered: {tier_max:?}"
+            );
         }
         // No member of tier j+1 is faster than the slowest member of tier j.
-        for j in 0..4 {
+        for (j, &cur_max) in tier_max.iter().take(4).enumerate() {
             let next_min = g
                 .group(j + 1)
                 .iter()
                 .map(|&w| ws[w].local_training_time)
                 .fold(f64::INFINITY, f64::min);
-            assert!(next_min >= tier_max[j] - 1e-9);
+            assert!(next_min >= cur_max - 1e-9);
         }
     }
 

@@ -234,7 +234,11 @@ impl Grouping {
     }
 
     /// Per-group completion times `L_j = max_{v_i∈V_j} l_i + L_u` (Eq. (34)).
-    pub fn group_completion_times(&self, workers: &[WorkerInfo], aggregation_time: f64) -> Vec<f64> {
+    pub fn group_completion_times(
+        &self,
+        workers: &[WorkerInfo],
+        aggregation_time: f64,
+    ) -> Vec<f64> {
         (0..self.num_groups())
             .map(|j| self.group_max_latency(j, workers) + aggregation_time)
             .collect()

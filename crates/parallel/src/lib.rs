@@ -1,0 +1,300 @@
+//! Rayon-style fork/join parallelism over `std::thread::scope`.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! small slice of the rayon API the workspace needs — `par_iter().map(..)
+//! .collect()` over slices and owned vectors — implemented with scoped
+//! threads and contiguous chunking. There is **no persistent pool**: each
+//! `collect()` spawns up to `min(max_threads, items)` OS threads and joins
+//! them, so the per-call overhead is tens of microseconds — fine for the
+//! engines' per-round local-training fan-out, wasteful for micro-tasks
+//! (a persistent pool is a ROADMAP open item). Two properties matter to
+//! the callers:
+//!
+//! * **Order preservation**: `collect()` returns results in input order, so a
+//!   reduction over the collected vector is performed in a fixed order and
+//!   parallel runs are bit-identical to sequential runs (floating-point
+//!   addition is not associative; a work-stealing reduction would not be
+//!   deterministic).
+//! * **No shared mutable state**: the `map` closure receives each item by
+//!   value / shared reference; any per-item RNG or scratch state must travel
+//!   inside the item itself, which is exactly how the training engine hands
+//!   each worker its own `Rng64` stream and scratch workspace.
+//!
+//! Thread count defaults to [`std::thread::available_parallelism`] and can be
+//! pinned with the `PARALLEL_THREADS` environment variable (``1`` forces
+//! sequential execution, useful for profiling and determinism checks —
+//! although by construction the results are identical either way).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+/// Convenience re-exports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParVec, ParSlice};
+}
+
+/// Maximum number of worker threads fork/join calls will use.
+pub fn max_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Ok(v) = std::env::var("PARALLEL_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Parallel iteration over slices, mirroring `rayon`'s `par_iter()`.
+pub trait ParSlice<T: Sync> {
+    /// A parallel iterator over shared references to the elements.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Sync> ParSlice<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iteration over owned vectors, mirroring `rayon`'s
+/// `into_par_iter()`.
+pub trait IntoParVec<T: Send> {
+    /// A parallel iterator that consumes the vector.
+    fn into_par_iter(self) -> ParIntoIter<T>;
+}
+
+impl<T: Send> IntoParVec<T> for Vec<T> {
+    fn into_par_iter(self) -> ParIntoIter<T> {
+        ParIntoIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator (see [`ParSlice::par_iter`]).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every element through `f`, in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]; terminate it with `collect()`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Execute the map and collect the results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromOrdered<R>,
+    {
+        let n = self.items.len();
+        let threads = max_threads().min(n.max(1));
+        let f = &self.f;
+        if threads <= 1 || n < 2 {
+            return C::from_vec(self.items.iter().map(f).collect());
+        }
+        let chunk = n.div_ceil(threads);
+        let out = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            for h in handles {
+                out.extend(h.join().expect("parallel map worker panicked"));
+            }
+            out
+        });
+        C::from_vec(out)
+    }
+}
+
+/// Consuming parallel iterator (see [`IntoParVec::into_par_iter`]).
+pub struct ParIntoIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIntoIter<T> {
+    /// Map every element through `f`, in parallel, consuming the input.
+    pub fn map<R, F>(self, f: F) -> ParIntoMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIntoMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIntoIter::map`]; terminate it with `collect()`.
+pub struct ParIntoMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParIntoMap<T, F> {
+    /// Execute the map and collect the results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromOrdered<R>,
+    {
+        let n = self.items.len();
+        let threads = max_threads().min(n.max(1));
+        let f = &self.f;
+        if threads <= 1 || n < 2 {
+            return C::from_vec(self.items.into_iter().map(f).collect());
+        }
+        let chunk = n.div_ceil(threads);
+        // Split the input into per-thread contiguous chunks, preserving order.
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut rest = self.items;
+        while rest.len() > chunk {
+            let tail = rest.split_off(chunk);
+            chunks.push(rest);
+            rest = tail;
+        }
+        chunks.push(rest);
+        let out = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            for h in handles {
+                out.extend(h.join().expect("parallel map worker panicked"));
+            }
+            out
+        });
+        C::from_vec(out)
+    }
+}
+
+/// Collection types an ordered parallel map can terminate into.
+pub trait FromOrdered<R> {
+    /// Build the collection from an already-ordered vector of results.
+    fn from_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromOrdered<R> for Vec<R> {
+    fn from_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// Borrow multiple distinct elements of a slice mutably at once.
+///
+/// `indices` must be strictly increasing (the caller's group member lists are
+/// already sorted and duplicate-free). This is how the training engine hands
+/// disjoint `&mut WorkerState`s of one group to a parallel map without
+/// cloning the pool. Panics on out-of-order or out-of-range indices.
+pub fn disjoint_muts<'a, T>(slice: &'a mut [T], indices: &[usize]) -> Vec<&'a mut T> {
+    let mut out = Vec::with_capacity(indices.len());
+    let mut rest = slice;
+    let mut consumed = 0usize;
+    for &i in indices {
+        assert!(
+            i >= consumed,
+            "disjoint_muts requires strictly increasing indices"
+        );
+        let (_, tail) = rest.split_at_mut(i - consumed);
+        let (item, tail) = tail
+            .split_first_mut()
+            .expect("disjoint_muts index out of range");
+        out.push(item);
+        rest = tail;
+        consumed = i + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_map_preserves_order() {
+        let xs: Vec<u64> = (0..997).collect();
+        let out: Vec<u64> = xs.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..998).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_inputs_run_sequentially() {
+        let xs = vec![41u32];
+        let out: Vec<u32> = xs.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn disjoint_muts_yields_every_requested_element() {
+        let mut xs = vec![0, 10, 20, 30, 40, 50];
+        let muts = disjoint_muts(&mut xs, &[1, 3, 4]);
+        assert_eq!(muts.len(), 3);
+        for m in muts {
+            *m += 1;
+        }
+        assert_eq!(xs, vec![0, 11, 20, 31, 41, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn disjoint_muts_rejects_unsorted_indices() {
+        let mut xs = vec![1, 2, 3];
+        let _ = disjoint_muts(&mut xs, &[2, 0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_float_reduction() {
+        // Order preservation means the caller's fold order is fixed, so the
+        // floating-point sum is bit-identical however many threads ran.
+        let xs: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let mapped: Vec<f64> = xs.par_iter().map(|&x| x * 1.000001 + 0.5).collect();
+        let seq: Vec<f64> = xs.iter().map(|&x| x * 1.000001 + 0.5).collect();
+        for (a, b) in mapped.iter().zip(seq.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

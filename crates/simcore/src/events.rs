@@ -87,11 +87,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled {
-            time,
-            seq,
-            payload,
-        });
+        self.heap.push(Scheduled { time, seq, payload });
     }
 
     /// Schedule `payload` after a delay relative to the current virtual time.

@@ -127,10 +127,7 @@ impl TrainingTrace {
     /// `target` (used by Fig. 9). Returns `None` if never reached.
     pub fn energy_to_accuracy(&self, target: f64) -> Option<f64> {
         let t = self.time_to_accuracy(target)?;
-        self.points
-            .iter()
-            .find(|p| p.time >= t)
-            .map(|p| p.energy)
+        self.points.iter().find(|p| p.time >= t).map(|p| p.energy)
     }
 
     /// Average time between consecutive global rounds.

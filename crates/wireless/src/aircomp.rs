@@ -73,7 +73,10 @@ pub fn air_aggregate(
     noise_variance: f64,
     rng: &mut Rng64,
 ) -> AirAggregationResult {
-    assert!(!inputs.is_empty(), "over-the-air aggregation with no workers");
+    assert!(
+        !inputs.is_empty(),
+        "over-the-air aggregation with no workers"
+    );
     assert!(sigma > 0.0, "sigma must be positive");
     assert!(eta > 0.0, "eta must be positive");
     assert!(noise_variance >= 0.0, "noise variance must be non-negative");
@@ -133,6 +136,24 @@ pub fn apply_group_update(
     out.scale(1.0 - beta);
     out.axpy(beta, group_estimate);
     out
+}
+
+/// In-place variant of [`apply_group_update`]: updates `global` directly so
+/// the per-round engine loop does not allocate a fresh `q`-length vector.
+pub fn apply_group_update_in_place(
+    global: &mut FlatParams,
+    group_estimate: &FlatParams,
+    group_data_size: f64,
+    total_data_size: f64,
+) {
+    assert!(total_data_size > 0.0, "total data size must be positive");
+    assert!(
+        group_data_size > 0.0 && group_data_size <= total_data_size + 1e-9,
+        "group data size must lie in (0, D]"
+    );
+    let beta = group_data_size / total_data_size;
+    global.scale(1.0 - beta);
+    global.axpy(beta, group_estimate);
 }
 
 #[cfg(test)]

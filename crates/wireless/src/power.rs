@@ -43,23 +43,51 @@ pub struct PowerControlConfig {
 impl PowerControlConfig {
     /// Construct the configuration for a participating group using the
     /// paper's default constants (σ₀² = 1 W, Ê_i = 10 J, θ = 1e-6).
-    pub fn for_group(
-        model_norm_bound: f64,
-        data_sizes: Vec<f64>,
-        channel_gains: Vec<f64>,
-    ) -> Self {
+    ///
+    /// Takes the per-worker vectors by slice (they are copied into the
+    /// config); the round loop of the mechanism engines keeps one config
+    /// alive and refreshes it with [`PowerControlConfig::set_group`] instead,
+    /// so no per-round vectors are allocated.
+    pub fn for_group(model_norm_bound: f64, data_sizes: &[f64], channel_gains: &[f64]) -> Self {
         let n = data_sizes.len();
         let group_data_size = data_sizes.iter().sum();
         Self {
             model_norm_bound,
             noise_variance: 1.0,
             group_data_size,
-            data_sizes,
-            channel_gains,
+            data_sizes: data_sizes.to_vec(),
+            channel_gains: channel_gains.to_vec(),
             energy_budgets: vec![10.0; n],
             tolerance: 1e-6,
             max_iterations: 200,
         }
+    }
+
+    /// Refresh an existing configuration for a new round's participating
+    /// group, reusing the config's internal buffers. `energy_budget` is
+    /// applied uniformly to all members (the engines use the system-wide
+    /// per-round budget Ê). Steady-state calls allocate nothing once the
+    /// buffers have grown to the largest group size.
+    pub fn set_group(
+        &mut self,
+        model_norm_bound: f64,
+        data_sizes: &[f64],
+        channel_gains: &[f64],
+        energy_budget: f64,
+    ) {
+        assert_eq!(
+            data_sizes.len(),
+            channel_gains.len(),
+            "channel gains length mismatch"
+        );
+        self.model_norm_bound = model_norm_bound;
+        self.group_data_size = data_sizes.iter().sum();
+        self.data_sizes.clear();
+        self.data_sizes.extend_from_slice(data_sizes);
+        self.channel_gains.clear();
+        self.channel_gains.extend_from_slice(channel_gains);
+        self.energy_budgets.clear();
+        self.energy_budgets.resize(data_sizes.len(), energy_budget);
     }
 
     /// Panic with a descriptive message if the configuration is inconsistent.
@@ -69,7 +97,10 @@ impl PowerControlConfig {
             "model norm bound must be positive"
         );
         assert!(self.noise_variance >= 0.0, "noise variance must be >= 0");
-        assert!(self.group_data_size > 0.0, "group data size must be positive");
+        assert!(
+            self.group_data_size > 0.0,
+            "group data size must be positive"
+        );
         let n = self.data_sizes.len();
         assert!(n > 0, "power control needs at least one worker");
         assert_eq!(self.channel_gains.len(), n, "channel gains length mismatch");
@@ -215,7 +246,7 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> PowerControlConfig {
-        PowerControlConfig::for_group(1.5, vec![100.0, 80.0, 120.0], vec![0.9, 1.2, 0.6])
+        PowerControlConfig::for_group(1.5, &[100.0, 80.0, 120.0], &[0.9, 1.2, 0.6])
     }
 
     #[test]

@@ -72,13 +72,22 @@ impl WirelessConfig {
         assert!(self.noise_variance >= 0.0, "noise variance must be >= 0");
         assert!(self.energy_budget > 0.0, "energy budget must be positive");
         assert!(self.subchannels > 0, "subchannel count must be positive");
-        assert!(self.symbol_duration > 0.0, "symbol duration must be positive");
-        assert!(self.bits_per_param > 0.0, "bits per parameter must be positive");
+        assert!(
+            self.symbol_duration > 0.0,
+            "symbol duration must be positive"
+        );
+        assert!(
+            self.bits_per_param > 0.0,
+            "bits per parameter must be positive"
+        );
         assert!(
             self.spectral_efficiency > 0.0,
             "spectral efficiency must be positive"
         );
-        assert!(self.broadcast_latency >= 0.0, "broadcast latency must be >= 0");
+        assert!(
+            self.broadcast_latency >= 0.0,
+            "broadcast latency must be >= 0"
+        );
     }
 
     /// AirComp aggregation latency `L_u = (q / R) · L_s` (Eq. (33)). The

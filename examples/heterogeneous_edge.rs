@@ -16,7 +16,10 @@ use air_fedga::simcore::worker::HeterogeneityModel;
 fn main() {
     let rounds = 150;
     for (label, heterogeneity) in [
-        ("homogeneous workers (kappa = 1)", HeterogeneityModel::Homogeneous),
+        (
+            "homogeneous workers (kappa = 1)",
+            HeterogeneityModel::Homogeneous,
+        ),
         (
             "heterogeneous workers (kappa ~ U[1,10])",
             HeterogeneityModel::Uniform { lo: 1.0, hi: 10.0 },
@@ -38,6 +41,7 @@ fn main() {
             total_rounds: rounds,
             eval_every: 10,
             max_virtual_time: None,
+            parallel: true,
         });
 
         let ga = air_fedga.run(&system, &mut Rng64::seed_from(5));

@@ -19,11 +19,7 @@ fn main() {
     println!("Algorithm 2 under different per-round energy budgets:");
     println!("  budget(J)   sigma*       eta*        C_t       iterations");
     for budget in [0.1, 1.0, 10.0, 100.0, 1e6] {
-        let mut cfg = PowerControlConfig::for_group(
-            model_norm_bound,
-            data_sizes.clone(),
-            channel_gains.clone(),
-        );
+        let mut cfg = PowerControlConfig::for_group(model_norm_bound, &data_sizes, &channel_gains);
         cfg.energy_budgets = vec![budget; data_sizes.len()];
         let sol = optimize_power(&cfg);
         println!(
@@ -46,8 +42,8 @@ fn main() {
     for budget in [0.5, 10.0, 1e4] {
         let mut cfg = PowerControlConfig::for_group(
             params.iter().map(|p| p.norm()).fold(0.0, f64::max),
-            data_sizes.clone(),
-            channel_gains.clone(),
+            &data_sizes,
+            &channel_gains,
         );
         cfg.noise_variance = 1e-3;
         cfg.energy_budgets = vec![budget; data_sizes.len()];

@@ -21,6 +21,7 @@ fn opts(rounds: usize) -> BaselineOptions {
         total_rounds: rounds,
         eval_every: 5,
         max_virtual_time: None,
+        parallel: true,
     }
 }
 

@@ -1,19 +1,30 @@
-//! Property-based tests (proptest) over the core invariants of the
-//! reproduction: partitioning, over-the-air aggregation, power control,
-//! EMD, the grouping constraint and the Lemma-1/Theorem-1 bounds.
+//! Property-based tests over the core invariants of the reproduction:
+//! partitioning, over-the-air aggregation, power control, EMD, the grouping
+//! constraint, the Lemma-1/Theorem-1 bounds, and the batched training
+//! engine's equivalence to the per-sample reference.
+//!
+//! The build environment has no crates.io access (so no `proptest`); instead
+//! each property samples its inputs from a seeded [`Rng64`], which keeps the
+//! cases deterministic and the failures reproducible — rerun with the case
+//! index printed in the assertion message.
 
 use air_fedga::airfedga::convergence::{lemma1_envelope, lemma1_recursion};
+use air_fedga::airfedga::mechanism::{run_group_async, AggregationMode, EngineOptions};
+use air_fedga::airfedga::system::FlSystemConfig;
 use air_fedga::fedml::dataset::SyntheticSpec;
+use air_fedga::fedml::model::{LogisticRegression, Mlp, Model};
 use air_fedga::fedml::params::FlatParams;
 use air_fedga::fedml::partition::{LabelDistribution, Partitioner};
 use air_fedga::fedml::rng::Rng64;
 use air_fedga::grouping::emd::average_group_emd;
 use air_fedga::grouping::greedy::{greedy_grouping, GreedyGroupingConfig};
 use air_fedga::grouping::objective::{GroupingObjective, ObjectiveConstants};
-use air_fedga::grouping::worker_info::WorkerInfo;
+use air_fedga::grouping::worker_info::{Grouping, WorkerInfo};
 use air_fedga::wireless::aircomp::{air_aggregate, apply_group_update, AirAggregationInput};
 use air_fedga::wireless::power::{optimize_power, transmit_power, PowerControlConfig};
-use proptest::prelude::*;
+use bench::reference::{logreg_loss_and_gradient, mlp_loss_and_gradient};
+
+const CASES: usize = 24;
 
 fn label_skew_workers(n: usize, latencies: &[f64]) -> Vec<WorkerInfo> {
     (0..n)
@@ -25,18 +36,14 @@ fn label_skew_workers(n: usize, latencies: &[f64]) -> Vec<WorkerInfo> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every partitioner produces a true partition: shards are disjoint,
-    /// cover the dataset, and are non-empty.
-    #[test]
-    fn partitioners_produce_true_partitions(
-        seed in 0u64..1_000,
-        num_workers in 1usize..40,
-        which in 0usize..3,
-    ) {
-        let mut rng = Rng64::seed_from(seed);
+/// Every partitioner produces a true partition: shards are disjoint, cover
+/// the dataset, and are non-empty.
+#[test]
+fn partitioners_produce_true_partitions() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from(1000 + case as u64);
+        let num_workers = 1 + rng.index(39);
+        let which = rng.index(3);
         let data = SyntheticSpec::mnist_like()
             .with_samples_per_class(12)
             .generate(&mut rng);
@@ -46,142 +53,277 @@ proptest! {
             _ => Partitioner::Dirichlet { alpha: 0.5 },
         };
         let shards = partitioner.partition(&data, num_workers, &mut rng);
-        prop_assert_eq!(shards.len(), num_workers);
+        assert_eq!(shards.len(), num_workers, "case {case}");
         let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
         all.sort_unstable();
-        prop_assert_eq!(all.len(), data.len());
+        assert_eq!(all.len(), data.len(), "case {case}: not covering");
         all.dedup();
-        prop_assert_eq!(all.len(), data.len());
-        prop_assert!(shards.iter().all(|s| !s.is_empty()));
+        assert_eq!(all.len(), data.len(), "case {case}: overlapping shards");
+        assert!(
+            shards.iter().all(|s| !s.is_empty()),
+            "case {case}: empty shard"
+        );
     }
+}
 
-    /// With a noiseless channel and matched factors (sigma = sqrt(eta)), the
-    /// over-the-air estimate equals the ideal weighted average, and the
-    /// global update is the exact convex combination of Eq. (8).
-    #[test]
-    fn noiseless_aircomp_is_exact(
-        dims in 1usize..64,
-        sizes in proptest::collection::vec(1.0f64..200.0, 1..6),
-        scale in 0.1f64..4.0,
-    ) {
-        let params: Vec<FlatParams> = sizes
-            .iter()
-            .enumerate()
-            .map(|(i, _)| FlatParams(vec![0.02 * (i as f64 + 1.0); dims]))
+/// With a noiseless channel and matched factors (sigma = sqrt(eta)), the
+/// over-the-air estimate equals the ideal weighted average, and the global
+/// update is the exact convex combination of Eq. (8).
+#[test]
+fn noiseless_aircomp_is_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from(2000 + case as u64);
+        let dims = 1 + rng.index(63);
+        let n = 1 + rng.index(5);
+        let sizes: Vec<f64> = (0..n).map(|_| rng.uniform_range(1.0, 200.0)).collect();
+        let scale = rng.uniform_range(0.1, 4.0);
+        let params: Vec<FlatParams> = (0..n)
+            .map(|i| FlatParams(vec![0.02 * (i as f64 + 1.0); dims]))
             .collect();
         let inputs: Vec<AirAggregationInput<'_>> = params
             .iter()
             .zip(sizes.iter())
-            .map(|(p, &d)| AirAggregationInput { data_size: d, channel_gain: 0.7, params: p })
+            .map(|(p, &d)| AirAggregationInput {
+                data_size: d,
+                channel_gain: 0.7,
+                params: p,
+            })
             .collect();
-        let mut rng = Rng64::seed_from(1);
         let res = air_aggregate(&inputs, scale, scale * scale, 0.0, &mut rng);
-        prop_assert!(res.error_norm_sq < 1e-16);
+        assert!(res.error_norm_sq < 1e-16, "case {case}");
         let total: f64 = sizes.iter().sum();
         let global = FlatParams::zeros(dims);
         let updated = apply_group_update(&global, &res.group_estimate, total, total * 2.0);
         // Half weight: every coordinate equals half the ideal average.
         for (u, i) in updated.0.iter().zip(res.ideal_group_model.0.iter()) {
-            prop_assert!((u - 0.5 * i).abs() < 1e-12);
+            assert!((u - 0.5 * i).abs() < 1e-12, "case {case}");
         }
     }
+}
 
-    /// Algorithm 2 always converges and never violates any worker's energy
-    /// budget, regardless of channel gains, data sizes or budget magnitudes.
-    #[test]
-    fn power_control_respects_energy_budgets(
-        norm in 0.5f64..50.0,
-        sizes in proptest::collection::vec(1.0f64..500.0, 1..8),
-        gains_seed in 0u64..1000,
-        budget in 0.01f64..100.0,
-    ) {
-        let mut rng = Rng64::seed_from(gains_seed);
-        let gains: Vec<f64> = sizes.iter().map(|_| rng.uniform_range(0.05, 2.0)).collect();
-        let mut cfg = PowerControlConfig::for_group(norm, sizes.clone(), gains.clone());
-        cfg.energy_budgets = vec![budget; sizes.len()];
+/// Algorithm 2 always converges and never violates any worker's energy
+/// budget, regardless of channel gains, data sizes or budget magnitudes.
+#[test]
+fn power_control_respects_energy_budgets() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from(3000 + case as u64);
+        let norm = rng.uniform_range(0.5, 50.0);
+        let n = 1 + rng.index(7);
+        let sizes: Vec<f64> = (0..n).map(|_| rng.uniform_range(1.0, 500.0)).collect();
+        let gains: Vec<f64> = (0..n).map(|_| rng.uniform_range(0.05, 2.0)).collect();
+        let budget = rng.uniform_range(0.01, 100.0);
+        let mut cfg = PowerControlConfig::for_group(norm, &sizes, &gains);
+        cfg.energy_budgets = vec![budget; n];
         let sol = optimize_power(&cfg);
-        prop_assert!(sol.sigma > 0.0 && sol.eta > 0.0);
-        prop_assert!(sol.cost.is_finite());
-        for ((&d, &h), &e) in sizes.iter().zip(gains.iter()).zip(cfg.energy_budgets.iter()) {
+        assert!(sol.sigma > 0.0 && sol.eta > 0.0, "case {case}");
+        assert!(sol.cost.is_finite(), "case {case}");
+        for ((&d, &h), &e) in sizes
+            .iter()
+            .zip(gains.iter())
+            .zip(cfg.energy_budgets.iter())
+        {
             let p = transmit_power(d, sol.sigma, h);
-            prop_assert!(p * p * norm * norm <= e * (1.0 + 1e-6));
+            assert!(p * p * norm * norm <= e * (1.0 + 1e-6), "case {case}");
         }
     }
+}
 
-    /// The average group EMD is always within [0, 2], and grouping everyone
-    /// together always achieves EMD 0.
-    #[test]
-    fn emd_is_bounded_and_full_grouping_is_iid(
-        n in 2usize..60,
-        latency_seed in 0u64..1000,
-    ) {
-        let mut rng = Rng64::seed_from(latency_seed);
+/// The average group EMD is always within [0, 2], and grouping everyone
+/// together always achieves EMD 0.
+#[test]
+fn emd_is_bounded_and_full_grouping_is_iid() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from(4000 + case as u64);
+        let n = 2 + rng.index(58);
         let latencies: Vec<f64> = (0..n).map(|_| rng.uniform_range(5.0, 60.0)).collect();
         let workers = label_skew_workers(n, &latencies);
-        let singles = air_fedga::grouping::worker_info::Grouping::singletons(n);
-        let single_group = air_fedga::grouping::worker_info::Grouping::single_group(n);
+        let singles = Grouping::singletons(n);
+        let single_group = Grouping::single_group(n);
         let e_singles = average_group_emd(&singles, &workers);
         let e_all = average_group_emd(&single_group, &workers);
-        prop_assert!((0.0..=2.0 + 1e-9).contains(&e_singles));
-        prop_assert!(e_all < 1e-9);
-        prop_assert!(e_singles >= e_all);
+        assert!((0.0..=2.0 + 1e-9).contains(&e_singles), "case {case}");
+        assert!(e_all < 1e-9, "case {case}");
+        assert!(e_singles >= e_all, "case {case}");
     }
+}
 
-    /// Algorithm 3 always yields a valid partition that satisfies the
-    /// ξ-constraint, and never does worse on the objective than the
-    /// fully-asynchronous singleton grouping.
-    #[test]
-    fn greedy_grouping_invariants(
-        n in 2usize..40,
-        xi in 0.0f64..1.0,
-        latency_seed in 0u64..1000,
-    ) {
-        let mut rng = Rng64::seed_from(latency_seed);
+/// Algorithm 3 always yields a valid partition that satisfies the
+/// ξ-constraint, and never does worse on the objective than the
+/// fully-asynchronous singleton grouping.
+#[test]
+fn greedy_grouping_invariants() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from(5000 + case as u64);
+        let n = 2 + rng.index(38);
+        let xi = rng.uniform();
         let latencies: Vec<f64> = (0..n).map(|_| rng.uniform_range(5.0, 60.0)).collect();
         let workers = label_skew_workers(n, &latencies);
         let objective = GroupingObjective::new(0.5, xi, ObjectiveConstants::default());
         let cfg = GreedyGroupingConfig::new(objective.clone());
         let grouping = greedy_grouping(&workers, &cfg);
-        prop_assert_eq!(grouping.num_workers(), n);
-        prop_assert!(objective.satisfies_xi(&grouping, &workers));
-        let singles = air_fedga::grouping::worker_info::Grouping::singletons(n);
-        prop_assert!(
+        assert_eq!(grouping.num_workers(), n, "case {case}");
+        assert!(objective.satisfies_xi(&grouping, &workers), "case {case}");
+        let singles = Grouping::singletons(n);
+        assert!(
             objective.evaluate(&grouping, &workers)
-                <= objective.evaluate(&singles, &workers) + 1e-9
+                <= objective.evaluate(&singles, &workers) + 1e-9,
+            "case {case}"
         );
     }
+}
 
-    /// Lemma 1: the closed-form envelope dominates the worst-case recursion
-    /// for any admissible (x, y, z, tau).
-    #[test]
-    fn lemma1_envelope_dominates(
-        x in 0.0f64..0.7,
-        y_frac in 0.0f64..0.99,
-        z in 0.0f64..0.5,
-        q0 in 0.0f64..10.0,
-        tau in 0usize..8,
-    ) {
-        let y = y_frac * (0.99 - x).max(0.0);
+/// Lemma 1: the closed-form envelope dominates the worst-case recursion for
+/// any admissible (x, y, z, tau).
+#[test]
+fn lemma1_envelope_dominates() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from(6000 + case as u64);
+        let x = rng.uniform_range(0.0, 0.7);
+        let y = rng.uniform() * (0.99 - x).max(0.0);
+        let z = rng.uniform_range(0.0, 0.5);
+        let q0 = rng.uniform_range(0.0, 10.0);
+        let tau = rng.index(8);
         let seq = lemma1_recursion(x, y, z, q0, tau, 120);
         for (t, q) in seq.iter().enumerate() {
-            prop_assert!(*q <= lemma1_envelope(x, y, z, q0, tau, t) + 1e-7);
+            assert!(
+                *q <= lemma1_envelope(x, y, z, q0, tau, t) + 1e-7,
+                "case {case}, t = {t}"
+            );
         }
     }
+}
 
-    /// Merging label distributions is equivalent to computing the
-    /// distribution of the union (checked via counts).
-    #[test]
-    fn label_distribution_merge_is_consistent(
-        counts_a in proptest::collection::vec(0usize..50, 5),
-        counts_b in proptest::collection::vec(0usize..50, 5),
-    ) {
-        prop_assume!(counts_a.iter().sum::<usize>() > 0);
-        prop_assume!(counts_b.iter().sum::<usize>() > 0);
+/// Merging label distributions is equivalent to computing the distribution
+/// of the union (checked via counts).
+#[test]
+fn label_distribution_merge_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from(7000 + case as u64);
+        let counts_a: Vec<usize> = (0..5).map(|_| rng.index(50)).collect();
+        let counts_b: Vec<usize> = (0..5).map(|_| rng.index(50)).collect();
+        if counts_a.iter().sum::<usize>() == 0 || counts_b.iter().sum::<usize>() == 0 {
+            continue;
+        }
         let a = LabelDistribution::from_counts(&counts_a);
         let b = LabelDistribution::from_counts(&counts_b);
         let merged = LabelDistribution::merge(&[&a, &b]);
-        let combined: Vec<usize> = counts_a.iter().zip(counts_b.iter()).map(|(x, y)| x + y).collect();
+        let combined: Vec<usize> = counts_a
+            .iter()
+            .zip(counts_b.iter())
+            .map(|(x, y)| x + y)
+            .collect();
         let expected = LabelDistribution::from_counts(&combined);
-        prop_assert!(merged.l1_distance(&expected) < 1e-9);
+        assert!(merged.l1_distance(&expected) < 1e-9, "case {case}");
+    }
+}
+
+/// The batched GEMM engine reproduces the per-sample reference gradients of
+/// logistic regression to 1e-10 on random models, batches and batch sizes.
+#[test]
+fn batched_logreg_matches_per_sample_reference() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from(8000 + case as u64);
+        let data = SyntheticSpec::mnist_like()
+            .with_samples_per_class(4 + rng.index(6))
+            .generate(&mut rng);
+        let l2 = if rng.uniform() < 0.5 {
+            0.0
+        } else {
+            rng.uniform_range(1e-4, 0.1)
+        };
+        let mut model =
+            LogisticRegression::new(data.num_features(), data.num_classes()).with_l2(l2);
+        let mut p = model.params();
+        for v in p.0.iter_mut() {
+            *v = rng.gaussian_with(0.0, 0.3);
+        }
+        model.set_params(&p);
+        let bsz = 1 + rng.index(data.len());
+        let indices = rng.sample_indices(data.len(), bsz);
+        let (loss_ref, grad_ref) = logreg_loss_and_gradient(&model, &data, &indices);
+        let (loss, grad) = model.loss_and_gradient(&data, &indices);
+        assert!(
+            (loss - loss_ref).abs() < 1e-10,
+            "case {case}: loss {loss} vs reference {loss_ref}"
+        );
+        for (c, (a, b)) in grad.0.iter().zip(grad_ref.0.iter()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-10,
+                "case {case}: grad coord {c}: {a} vs reference {b}"
+            );
+        }
+    }
+}
+
+/// The batched GEMM engine reproduces the per-sample reference gradients of
+/// random-depth MLPs to 1e-10 on random batches.
+#[test]
+fn batched_mlp_matches_per_sample_reference() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from(9000 + case as u64);
+        let data = SyntheticSpec::mnist_like()
+            .with_samples_per_class(4 + rng.index(6))
+            .generate(&mut rng);
+        let depth = rng.index(3);
+        let hidden: Vec<usize> = (0..depth).map(|_| 3 + rng.index(20)).collect();
+        let model = Mlp::new(data.num_features(), &hidden, data.num_classes(), &mut rng);
+        let bsz = 1 + rng.index(data.len());
+        let indices = rng.sample_indices(data.len(), bsz);
+        let (loss_ref, grad_ref) = mlp_loss_and_gradient(&model, &data, &indices);
+        let (loss, grad) = model.loss_and_gradient(&data, &indices);
+        assert!(
+            (loss - loss_ref).abs() < 1e-10,
+            "case {case}: loss {loss} vs reference {loss_ref}"
+        );
+        for (c, (a, b)) in grad.0.iter().zip(grad_ref.0.iter()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-10,
+                "case {case}: grad coord {c}: {a} vs reference {b}"
+            );
+        }
+    }
+}
+
+/// Rayon-style parallel worker rounds produce bit-identical training traces
+/// to sequential execution for fixed seeds, across aggregation back-ends.
+#[test]
+fn parallel_rounds_are_bit_identical_to_sequential() {
+    let mut cfg = FlSystemConfig::mnist_lr_quick();
+    cfg.num_workers = 8;
+    let system = cfg.build(&mut Rng64::seed_from(42));
+    let groupings = [
+        Grouping::single_group(system.num_workers()),
+        Grouping::new(vec![vec![0, 2, 4, 6], vec![1, 3, 5, 7]], 8),
+    ];
+    let modes = [
+        AggregationMode::AirComp {
+            power_control: true,
+            noise: true,
+        },
+        AggregationMode::OmaIdeal {
+            scheme: air_fedga::wireless::timing::OmaScheme::Tdma,
+        },
+    ];
+    for grouping in &groupings {
+        for &aggregation in &modes {
+            let base = EngineOptions {
+                total_rounds: 12,
+                eval_every: 1,
+                max_virtual_time: None,
+                aggregation,
+                parallel: true,
+            };
+            let mut seq = base.clone();
+            seq.parallel = false;
+            let a = run_group_async(&system, grouping, &base, "par", &mut Rng64::seed_from(9));
+            let b = run_group_async(&system, grouping, &seq, "seq", &mut Rng64::seed_from(9));
+            assert_eq!(a.points().len(), b.points().len());
+            for (pa, pb) in a.points().iter().zip(b.points()) {
+                assert_eq!(pa.loss.to_bits(), pb.loss.to_bits());
+                assert_eq!(pa.accuracy.to_bits(), pb.accuracy.to_bits());
+                assert_eq!(pa.time.to_bits(), pb.time.to_bits());
+                assert_eq!(pa.energy.to_bits(), pb.energy.to_bits());
+            }
+        }
     }
 }
