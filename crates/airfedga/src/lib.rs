@@ -12,7 +12,7 @@
 //! * [`mechanism`] — Algorithm 1: grouping asynchronous federated learning
 //!   via over-the-air computation, driven in virtual time.
 //! * [`worker_pool`] — per-worker training state (model, RNG stream, scratch
-//!   workspace); a round's members train in parallel on a scoped thread pool
+//!   workspace); a round's members train in parallel on the persistent worker pool
 //!   with bit-identical-to-sequential results.
 //! * [`convergence`] — numerical evaluation of the Theorem-1 bound
 //!   (`ρ`, `δ`, the Lemma-1 recursion) and of Corollaries 1–2.

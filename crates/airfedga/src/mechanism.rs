@@ -28,7 +28,9 @@ use grouping::objective::{GroupingObjective, ObjectiveConstants};
 use grouping::worker_info::Grouping;
 use simcore::events::EventQueue;
 use simcore::trace::{TracePoint, TrainingTrace};
-use wireless::aircomp::{air_aggregate, apply_group_update_in_place, AirAggregationInput};
+use wireless::aircomp::{
+    air_aggregate_into, apply_group_update_in_place, AirAggregationInput, AirAggregationScratch,
+};
 use wireless::energy::EnergyLedger;
 use wireless::power::{optimize_power, PowerControlConfig};
 use wireless::timing::OmaScheme;
@@ -62,7 +64,7 @@ pub struct EngineOptions {
     pub max_virtual_time: Option<f64>,
     /// Aggregation back-end.
     pub aggregation: AggregationMode,
-    /// Run each round's per-member local updates on the scoped thread pool.
+    /// Run each round's per-member local updates on the persistent worker pool.
     /// Traces are bit-identical either way (each worker owns its RNG stream
     /// and scratch state, and the reduction order is fixed); `false` is only
     /// useful for profiling the sequential engine.
@@ -91,14 +93,12 @@ impl EngineOptions {
 ///
 /// The local-training hot path is allocation-free in steady state: every
 /// worker owns a persistent [`WorkerPool`] slot (model, RNG stream, scratch
-/// workspace, local-parameter buffer), the per-group dispatch vectors and
-/// power-control buffers are reused across rounds, and evaluation runs
-/// through the batched `evaluate_ws` path. The AirComp aggregation itself
-/// still allocates its received/ideal vectors per round inside
-/// [`air_aggregate`] (see the ROADMAP open item); the OMA branch reuses its
-/// estimate buffer. With `opts.parallel` the members of the aggregating
-/// group train concurrently on scoped threads — bit-identical to the
-/// sequential schedule.
+/// workspace, local-parameter buffer), the per-group dispatch vectors,
+/// power-control buffers and the AirComp estimate/ideal/energy buffers
+/// ([`air_aggregate_into`] + [`AirAggregationScratch`]) are all reused across
+/// rounds, and evaluation runs through the batched `evaluate_ws` path. With
+/// `opts.parallel` the members of the aggregating group train concurrently on
+/// the persistent worker pool — bit-identical to the sequential schedule.
 pub fn run_group_async(
     system: &FlSystem,
     grouping: &Grouping,
@@ -131,6 +131,7 @@ pub fn run_group_async(
     let mut data_sizes: Vec<f64> = Vec::new();
     let mut gains: Vec<f64> = Vec::new();
     let mut group_estimate = FlatParams::zeros(model_dim);
+    let mut air_scratch = AirAggregationScratch::new();
     let mut pc = PowerControlConfig::for_group(1.0, &[1.0], &[1.0]);
 
     // Initial dispatch: every group starts local training on w_0 at time 0.
@@ -214,12 +215,19 @@ pub fn run_group_async(
                     })
                     .collect();
                 let noise_var = if noise { wireless.noise_variance } else { 0.0 };
-                let result = air_aggregate(&inputs, sigma, eta, noise_var, rng);
+                air_aggregate_into(
+                    &inputs,
+                    sigma,
+                    eta,
+                    noise_var,
+                    rng,
+                    &mut group_estimate,
+                    &mut air_scratch,
+                );
                 for (k, &w) in members.iter().enumerate() {
-                    ledger.record(w, result.per_worker_energy[k]);
+                    ledger.record(w, air_scratch.per_worker_energy[k]);
                 }
                 ledger.finish_round();
-                group_estimate = result.group_estimate;
             }
             AggregationMode::OmaIdeal { .. } => {
                 // Exact weighted average of the members' local models,
@@ -280,7 +288,7 @@ pub struct AirFedGaConfig {
     pub max_virtual_time: Option<f64>,
     /// Use this grouping instead of running Algorithm 3 (for ablations).
     pub grouping_override: Option<Grouping>,
-    /// Train each round's group members on the scoped thread pool
+    /// Train each round's group members on the persistent worker pool
     /// (bit-identical to sequential execution; see [`EngineOptions`]).
     pub parallel: bool,
 }

@@ -9,7 +9,7 @@
 //! * **Zero steady-state allocation** — model, workspace and parameter buffer
 //!   are reused across every round the worker participates in.
 //! * **Deterministic parallelism** — a round's members touch only their own
-//!   slots, so the per-member local updates can run on a scoped thread pool
+//!   slots, so the per-member local updates can run on the persistent worker pool
 //!   ([`parallel`]) and still produce traces **bit-identical** to sequential
 //!   execution: each member draws from its own pre-forked RNG stream, and the
 //!   aggregation that follows reads the slots in fixed member order.
@@ -70,7 +70,7 @@ impl WorkerPool {
     /// Run one local update for every worker in `members`, each starting from
     /// `dispatch`, writing the results into the members' slots.
     ///
-    /// With `parallel` the members are mapped over the scoped thread pool;
+    /// With `parallel` the members are mapped over the persistent worker pool;
     /// the result is bit-identical to the sequential path because every
     /// member only touches its own slot and RNG stream.
     pub fn train_members(

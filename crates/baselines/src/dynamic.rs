@@ -14,10 +14,13 @@
 use crate::BaselineOptions;
 use airfedga::system::{FlMechanism, FlSystem};
 use airfedga::worker_pool::WorkerPool;
+use fedml::params::FlatParams;
 use fedml::rng::Rng64;
 use fedml::workspace::Workspace;
 use simcore::trace::{TracePoint, TrainingTrace};
-use wireless::aircomp::{air_aggregate, apply_group_update_in_place, AirAggregationInput};
+use wireless::aircomp::{
+    air_aggregate_into, apply_group_update_in_place, AirAggregationInput, AirAggregationScratch,
+};
 use wireless::energy::EnergyLedger;
 use wireless::power::{optimize_power, PowerControlConfig};
 
@@ -113,6 +116,8 @@ impl FlMechanism for Dynamic {
         // Reusable per-round buffers.
         let mut data_sizes: Vec<f64> = Vec::new();
         let mut sel_gains: Vec<f64> = Vec::new();
+        let mut group_estimate = FlatParams::zeros(system.model_dim());
+        let mut air_scratch = AirAggregationScratch::new();
         let mut pc = PowerControlConfig::for_group(1.0, &[1.0], &[1.0]);
 
         template.set_params(&global);
@@ -180,17 +185,20 @@ impl FlMechanism for Dynamic {
             } else {
                 0.0
             };
-            let result = air_aggregate(&inputs, sigma, eta, noise_var, rng);
+            air_aggregate_into(
+                &inputs,
+                sigma,
+                eta,
+                noise_var,
+                rng,
+                &mut group_estimate,
+                &mut air_scratch,
+            );
             for (i, &w) in selected.iter().enumerate() {
-                ledger.record(w, result.per_worker_energy[i]);
+                ledger.record(w, air_scratch.per_worker_energy[i]);
             }
             ledger.finish_round();
-            apply_group_update_in_place(
-                &mut global,
-                &result.group_estimate,
-                group_data,
-                total_data,
-            );
+            apply_group_update_in_place(&mut global, &group_estimate, group_data, total_data);
 
             if round % cfg.options.eval_every == 0 || round == cfg.options.total_rounds {
                 template.set_params(&global);

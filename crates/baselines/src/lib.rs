@@ -38,7 +38,7 @@ pub struct BaselineOptions {
     pub eval_every: usize,
     /// Optional virtual-time budget (seconds).
     pub max_virtual_time: Option<f64>,
-    /// Run each round's per-worker local updates on the scoped thread pool
+    /// Run each round's per-worker local updates on the persistent worker pool
     /// (traces are bit-identical either way; see
     /// `airfedga::mechanism::EngineOptions`).
     pub parallel: bool,

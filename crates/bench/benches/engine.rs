@@ -1,6 +1,8 @@
 //! Benchmarks of the batched training engine.
 //!
-//! * `gemm` — the three GEMM kernels at layer shapes the workloads train.
+//! * `gemm` — the GEMM kernels at layer shapes the workloads train,
+//!   including the packed `nt` variant (`nt_packed`, pack + `gemm_nn`
+//!   micro-kernel) against the dot-product-layout `nt` kernel.
 //! * `local_step` — the MLP local-training step (one epoch of mini-batch SGD
 //!   over a worker shard, batch 32): the batched zero-alloc engine vs. the
 //!   per-sample reference trainer from `bench::reference`. The quotient of
@@ -9,6 +11,15 @@
 //! * `evaluate` — batched loss+accuracy evaluation vs. per-sample predict.
 //! * `full_round` — a short end-to-end run (4 rounds) of each of the five
 //!   mechanisms on a 12-worker system.
+//! * `pool` — fork/join overhead of the persistent pool vs. the old
+//!   spawn-per-call design (8-task no-op fan-out; ≥ 5× floor), plus the
+//!   latency of a small-group parallel training round, the case the
+//!   persistent pool was built for.
+//!
+//! The experiment-level `run_grid` benchmarks live in `benches/grid.rs` (a
+//! separate binary so this one's code layout — and therefore its kernel
+//! medians — stays comparable across baselines that predate the
+//! `experiments` crate dependency).
 //!
 //! Run with `cargo bench --bench engine`; the JSON report lands in
 //! `target/bench-json/engine.json` (committed baselines live in the repo root
@@ -16,12 +27,13 @@
 
 use airfedga::mechanism::{AirFedGa, AirFedGaConfig};
 use airfedga::system::{FlMechanism, FlSystemConfig};
+use airfedga::worker_pool::WorkerPool;
 use baselines::{AirFedAvg, BaselineOptions, Dynamic, DynamicConfig, FedAvg, TiFl};
 use bench::bench_system;
 use bench::reference::mlp_local_update_reference;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedml::dataset::SyntheticSpec;
-use fedml::linalg::{gemm_nn, gemm_nt, gemm_tn};
+use fedml::linalg::{gemm_nn, gemm_nt, gemm_nt_packed, gemm_tn};
 use fedml::model::{Mlp, Model};
 use fedml::optimizer::{local_update_ws, SgdConfig};
 use fedml::rng::Rng64;
@@ -36,12 +48,23 @@ fn bench_gemm(c: &mut Criterion) {
         let b: Vec<f64> = (0..k * n).map(|i| (i % 13) as f64 * 0.1).collect();
         let at: Vec<f64> = (0..k * m).map(|i| (i % 17) as f64 * 0.1).collect();
         let mut out = vec![0.0; m * n];
+        let mut pack = vec![0.0; k * n];
         group.bench_with_input(
             BenchmarkId::new("nt", format!("{m}x{n}x{k}")),
             &0,
             |be, _| {
                 be.iter(|| {
                     gemm_nt(&a, &bt, &mut out, m, n, k);
+                    black_box(out[0])
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nt_packed", format!("{m}x{n}x{k}")),
+            &0,
+            |be, _| {
+                be.iter(|| {
+                    gemm_nt_packed(&a, &bt, &mut out, m, n, k, &mut pack);
                     black_box(out[0])
                 })
             },
@@ -172,12 +195,62 @@ fn bench_full_round(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fork/join overhead: the persistent pool vs. the old spawn-per-call
+/// design, on an 8-task no-op fan-out (pure scheduling cost), plus the
+/// latency of one small-group parallel training round — the workload whose
+/// per-round cost the spawn-per-call design dominated.
+///
+/// The `pool` entry measures whatever `fork_join_chunks` costs at the
+/// host's thread configuration: on a multi-core host that is the
+/// queue-push + wake + latch protocol (order of microseconds); on a
+/// single-core host (or `PARALLEL_THREADS=1`) the pool spawns no workers
+/// and the entry measures the in-line fallback (order of nanoseconds).
+/// Both are the true cost the engines pay per fan-out on that host —
+/// the spawn-per-call entry, by contrast, pays thread start/join either
+/// way. Committed baselines record which case they measured (see the
+/// host note in the baseline's ROADMAP entry).
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool");
+    // Touch the pool once so worker-thread startup is not measured.
+    parallel::fork_join_chunks(8, &|i| {
+        black_box(i);
+    });
+    group.bench_function("fork_join_noop_8/pool", |b| {
+        b.iter(|| {
+            parallel::fork_join_chunks(8, &|i| {
+                black_box(i);
+            })
+        })
+    });
+    group.bench_function("fork_join_noop_8/spawn_per_call", |b| {
+        b.iter(|| {
+            parallel::fork_join_chunks_spawned(8, &|i| {
+                black_box(i);
+            })
+        })
+    });
+
+    // Small-group round latency: two members training in parallel, the
+    // smallest fan-out the engines issue.
+    let system = bench_system(FlSystemConfig::mnist_lr_quick(), 4, 7);
+    let dispatch = system.template.params();
+    let mut pool = WorkerPool::new(&system, &mut Rng64::seed_from(11));
+    group.bench_function("small_group_round_2", |b| {
+        b.iter(|| {
+            pool.train_members(&[0, 1], &dispatch, &system, true);
+            black_box(pool.last_loss(0))
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = engine;
     config = Criterion::default()
         .sample_size(15)
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_gemm, bench_local_step, bench_evaluate, bench_full_round
+    targets = bench_gemm, bench_local_step, bench_evaluate, bench_full_round,
+        bench_pool
 }
 criterion_main!(engine);

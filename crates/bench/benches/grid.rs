@@ -1,0 +1,61 @@
+//! Benchmarks of the experiment-level `run_grid` parallelism layer.
+//!
+//! * `grid/run_grid_8cells` — 8 independent (seed, mechanism) cells fanned
+//!   across the persistent worker pool through
+//!   `experiments::harness::run_grid`. Each cell is a short Air-FedAvg run
+//!   with its own RNG stream.
+//! * `grid/sequential_8cells` — the same cells run through a plain
+//!   sequential loop; both entries compute byte-identical results.
+//!
+//! On a multi-core host the grid entry should be ≥ 3× faster than the
+//! sequential one; on a single-core host (`PARALLEL_THREADS=1` or one CPU)
+//! `run_grid` falls back to in-line execution and the two entries coincide
+//! up to noise — the committed baseline records which case it measured.
+//!
+//! These live in their own bench binary (not `engine.rs`) so the engine
+//! bench's code layout — and therefore its kernel medians — stays comparable
+//! with committed baselines that predate the `experiments` dependency.
+//!
+//! Run with `cargo bench --bench grid`; the JSON report lands in
+//! `target/bench-json/grid.json`.
+
+use airfedga::system::FlMechanism;
+use airfedga::system::FlSystemConfig;
+use baselines::{AirFedAvg, BaselineOptions};
+use bench::bench_system;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::harness::run_grid;
+use fedml::rng::Rng64;
+use std::hint::black_box;
+
+fn bench_grid(c: &mut Criterion) {
+    let system = bench_system(FlSystemConfig::mnist_lr_quick(), 8, 21);
+    let opts = BaselineOptions {
+        total_rounds: 2,
+        eval_every: 2,
+        max_virtual_time: None,
+        parallel: true,
+    };
+    let cell = |seed: u64| {
+        let mech = AirFedAvg::new(opts);
+        mech.run(&system, &mut Rng64::seed_from(seed)).final_loss()
+    };
+    let mut group = c.benchmark_group("grid");
+    group.bench_function("run_grid_8cells", |b| {
+        b.iter(|| black_box(run_grid((0..8u64).collect(), cell)))
+    });
+    group.bench_function("sequential_8cells", |b| {
+        b.iter(|| black_box((0..8u64).map(cell).collect::<Vec<f64>>()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = grid;
+    config = Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_grid
+}
+criterion_main!(grid);

@@ -10,7 +10,7 @@
 //! `N = 100`.
 
 use airfedga::system::FlSystemConfig;
-use experiments::harness::{compare_mechanisms, MechanismChoice};
+use experiments::harness::{compare_mechanisms, run_grid, MechanismChoice};
 use experiments::report::{fmt_opt_secs, fmt_secs, try_write_csv, Table};
 use experiments::scale::Scale;
 
@@ -33,7 +33,12 @@ fn main() {
     );
     let mut csv = String::from("n,mechanism,avg_round_s,time_to_80_s\n");
 
-    for &n in &worker_counts {
+    // Two-level grid: the outer cells are the worker counts, and each cell's
+    // compare_mechanisms is itself a run_grid over the mechanisms — nested
+    // fan-out the pool resolves without deadlock. Every cell derives its RNG
+    // streams from its own (system_seed, run_seed), so this is byte-identical
+    // to the sequential double loop it replaced.
+    let per_n = run_grid(worker_counts, |n| {
         let mut cfg = scale.apply(FlSystemConfig::mnist_cnn());
         cfg.num_workers = n;
         // Keep the per-worker shard size constant across the sweep (30
@@ -50,6 +55,9 @@ fn main() {
             42,
             4242,
         );
+        (n, summaries)
+    });
+    for (n, summaries) in per_n {
         let cell = |label: &str, f: &dyn Fn(&experiments::harness::RunSummary) -> String| {
             summaries
                 .iter()

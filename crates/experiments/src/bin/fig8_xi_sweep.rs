@@ -9,6 +9,7 @@
 
 use airfedga::mechanism::{AirFedGa, AirFedGaConfig};
 use airfedga::system::{FlMechanism, FlSystemConfig};
+use experiments::harness::run_grid;
 use experiments::report::{fmt_opt_secs, try_write_csv, Table};
 use experiments::scale::Scale;
 use fedml::rng::Rng64;
@@ -33,7 +34,9 @@ fn main() {
         &["xi", "groups", "t@80%", "t@85%", "t@90%"],
     );
     let mut csv = String::from("xi,groups,t80,t85,t90\n");
-    for &xi in &xis {
+    // One grid cell per ξ: each cell re-seeds its own run RNG, so the fanned
+    // sweep is byte-identical to the sequential loop it replaced.
+    let sweep = run_grid(xis, |xi| {
         let mech = AirFedGa::new(AirFedGaConfig {
             xi,
             total_rounds: scale.total_rounds() * 2,
@@ -43,16 +46,18 @@ fn main() {
         let grouping = mech.grouping_for(&system);
         let trace = mech.run(&system, &mut Rng64::seed_from(4242));
         let times: Vec<Option<f64>> = targets.iter().map(|&t| trace.time_to_accuracy(t)).collect();
+        (xi, grouping.num_groups(), times)
+    });
+    for (xi, num_groups, times) in sweep {
         table.add_row(vec![
             format!("{xi:.1}"),
-            format!("{}", grouping.num_groups()),
+            format!("{num_groups}"),
             fmt_opt_secs(times[0]),
             fmt_opt_secs(times[1]),
             fmt_opt_secs(times[2]),
         ]);
         csv.push_str(&format!(
-            "{xi:.1},{},{},{},{}\n",
-            grouping.num_groups(),
+            "{xi:.1},{num_groups},{},{},{}\n",
             times[0].map(|t| format!("{t:.1}")).unwrap_or_default(),
             times[1].map(|t| format!("{t:.1}")).unwrap_or_default(),
             times[2].map(|t| format!("{t:.1}")).unwrap_or_default(),

@@ -4,12 +4,18 @@
 //! build one [`FlSystem`], run each mechanism on it (same seed, same shards,
 //! same heterogeneity, same channel statistics), and compare loss/accuracy
 //! vs. virtual time, time-to-accuracy and energy-to-accuracy. This module
-//! provides that loop plus the [`RunSummary`] extracted from each trace.
+//! provides that loop plus the [`RunSummary`] extracted from each trace —
+//! and [`run_grid`], the **experiment-level parallelism** layer that fans
+//! independent (seed, mechanism, config) cells of a figure/table grid across
+//! the persistent worker pool while each cell's training rounds keep using
+//! the pool's inner per-member fan-out (nested fork/join is deadlock-free;
+//! see the `parallel` crate docs).
 
 use airfedga::mechanism::{AirFedGa, AirFedGaConfig};
 use airfedga::system::{FlMechanism, FlSystem, FlSystemConfig};
 use baselines::{AirFedAvg, BaselineOptions, Dynamic, DynamicConfig, FedAvg, TiFl};
 use fedml::rng::Rng64;
+use parallel::prelude::*;
 use simcore::trace::TrainingTrace;
 
 /// Which mechanism to include in a comparison.
@@ -159,7 +165,37 @@ pub fn compare_mechanisms(
     )
 }
 
-/// Run the chosen mechanisms on an already-built system.
+/// Fan the independent cells of an experiment grid across the persistent
+/// worker pool, returning the per-cell results **in input order**.
+///
+/// A *cell* is one self-contained unit of a figure/table grid — a (seed,
+/// mechanism, config) combination, a worker-count of a scalability sweep, a
+/// ξ value of the Fig. 8 sweep. Cells run concurrently (each may itself use
+/// inner per-member round parallelism: the pool supports nested fan-out), so
+/// `run_cell` must uphold the determinism contract that makes the grid's
+/// output byte-identical to a sequential `cells.into_iter().map(run_cell)`:
+///
+/// * **Cell-local RNG**: every stochastic draw inside a cell must come from
+///   generators seeded from the cell's own data (e.g.
+///   `Rng64::seed_from(cell.seed)`), never from state shared across cells.
+/// * **No cell-order side effects**: cells must not print or write files —
+///   render tables/CSVs from the returned vector afterwards, in input order.
+///
+/// Under `PARALLEL_THREADS=1` the cells run in-line in input order, which the
+/// CI determinism job uses to cross-check the parallel schedule.
+pub fn run_grid<T, R, F>(cells: Vec<T>, run_cell: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    cells.into_par_iter().map(run_cell).collect()
+}
+
+/// Run the chosen mechanisms on an already-built system: one [`run_grid`]
+/// cell per mechanism, every cell re-seeding its own run RNG from `run_seed`
+/// (the per-cell RNG stream that keeps the grid's output identical to a
+/// sequential loop).
 pub fn compare_on_system(
     system: &FlSystem,
     mechanisms: &[MechanismChoice],
@@ -168,14 +204,11 @@ pub fn compare_on_system(
     max_virtual_time: Option<f64>,
     run_seed: u64,
 ) -> Vec<RunSummary> {
-    mechanisms
-        .iter()
-        .map(|&choice| {
-            let mech = choice.build(total_rounds, eval_every, max_virtual_time);
-            let trace = mech.run(system, &mut Rng64::seed_from(run_seed));
-            RunSummary::from_trace(trace)
-        })
-        .collect()
+    run_grid(mechanisms.to_vec(), |choice| {
+        let mech = choice.build(total_rounds, eval_every, max_virtual_time);
+        let trace = mech.run(system, &mut Rng64::seed_from(run_seed));
+        RunSummary::from_trace(trace)
+    })
 }
 
 #[cfg(test)]
@@ -211,6 +244,47 @@ mod tests {
             assert!(s.total_time > 0.0);
             assert!(!s.trace.is_empty());
         }
+    }
+
+    #[test]
+    fn run_grid_is_bit_identical_to_a_sequential_loop() {
+        let system = FlSystemConfig::mnist_lr_quick().build(&mut Rng64::seed_from(5));
+        let run_cell = |seed: u64| -> Vec<(u64, u64, u64)> {
+            let mech = MechanismChoice::AirFedGa.build(6, 2, None);
+            mech.run(&system, &mut Rng64::seed_from(seed))
+                .points()
+                .iter()
+                .map(|p| (p.loss.to_bits(), p.accuracy.to_bits(), p.time.to_bits()))
+                .collect()
+        };
+        let cells: Vec<u64> = (0..8).collect();
+        let grid = run_grid(cells.clone(), run_cell);
+        let seq: Vec<_> = cells.into_iter().map(run_cell).collect();
+        assert_eq!(grid, seq);
+    }
+
+    #[test]
+    fn nested_grids_compose() {
+        // Outer grid over system seeds, inner grid (compare_on_system) over
+        // mechanisms — the two-level shape of the scalability sweep.
+        let cfg = FlSystemConfig::mnist_lr_quick();
+        let run_cell = |system_seed: u64| -> Vec<u64> {
+            let system = cfg.build(&mut Rng64::seed_from(system_seed));
+            compare_on_system(
+                &system,
+                &[MechanismChoice::AirFedAvg, MechanismChoice::AirFedGa],
+                5,
+                5,
+                None,
+                9,
+            )
+            .into_iter()
+            .map(|s| s.final_loss.to_bits())
+            .collect()
+        };
+        let grid = run_grid(vec![1, 2, 3], run_cell);
+        let seq: Vec<_> = vec![1, 2, 3].into_iter().map(run_cell).collect();
+        assert_eq!(grid, seq);
     }
 
     #[test]

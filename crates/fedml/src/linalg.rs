@@ -17,7 +17,12 @@
 //!   and its fused-update sibling [`gemm_tn_acc`] (`W += −γ · δᵀ · X`), which
 //!   lets a whole SGD step run without materialising the gradient.
 //! * [`gemm_nt`] — `C = A · Bᵀ`, a register-tiled dot-product kernel kept for
-//!   single-row forwards and as an API convenience.
+//!   single-row forwards and as an API convenience. Its dot-product layout
+//!   cannot use the k-major micro-kernel, which left it ~6× behind the other
+//!   kernels; [`gemm_nt_packed`] closes that gap by **packing** `B` into a
+//!   caller-provided k-major panel (one O(n·k) transpose) and running the
+//!   [`gemm_nn`] micro-kernel over the panel — the standard pack-and-compute
+//!   GEMM decomposition, profitable whenever `m` is more than a few rows.
 //!
 //! ## Micro-kernel design
 //!
@@ -279,6 +284,34 @@ pub fn gemm_nt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize
             c[i * n + j] = dot_unrolled(ai, &b[j * k..(j + 1) * k]);
         }
     }
+}
+
+/// `C = A · Bᵀ` like [`gemm_nt`], but **packed**: `b` (`n × k`, row-major) is
+/// first transposed into the caller-provided `pack` panel (`k × n`, k-major),
+/// and the product then runs through the register-tiled [`gemm_nn`]
+/// micro-kernel. The packing pass is O(n·k) next to the GEMM's O(m·n·k), so
+/// for any batch of more than a few rows this erases the ~6× deficit of the
+/// dot-product-layout [`gemm_nt`] kernel (see the `gemm` bench group's
+/// `nt_packed` entries).
+///
+/// `pack` must have length `k * n`; it is fully overwritten (callers draw it
+/// from their `Workspace` scratch pool to keep the hot path allocation-free).
+/// Results are bit-identical to [`gemm_nn`] on a pre-transposed `B` and agree
+/// with [`gemm_nt`] to floating-point reassociation (≤ 1e-12 on the
+/// workloads' magnitudes; the summation orders differ).
+pub fn gemm_nt_packed(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+    pack: &mut [f64],
+) {
+    assert_eq!(b.len(), n * k, "gemm_nt_packed: B must be {n}x{k}");
+    assert_eq!(pack.len(), k * n, "gemm_nt_packed: pack must be {k}x{n}");
+    transpose(b, pack, n, k);
+    gemm_nn(a, pack, c, m, n, k);
 }
 
 /// `C = A · B` where `a` is `m × k`, `b` is `k × n` and `c` is `m × n`, all
@@ -984,6 +1017,42 @@ mod tests {
                 assert!((x - y).abs() < 1e-12, "gemm_nt mismatch at {m}x{n}x{k}");
             }
         }
+    }
+
+    #[test]
+    fn gemm_nt_packed_matches_naive_over_shapes() {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 4),
+            (5, 7, 9),
+            (8, 8, 8),
+            (13, 11, 17),
+            (32, 10, 25),
+        ] {
+            let a = pseudo_random_buf(m * k, 31);
+            let b = pseudo_random_buf(n * k, 32);
+            let mut pack = vec![f64::NAN; k * n];
+            let mut c = vec![f64::NAN; m * n];
+            gemm_nt_packed(&a, &b, &mut c, m, n, k, &mut pack);
+            let expect = naive_nt(&a, &b, m, n, k);
+            for (x, y) in c.iter().zip(expect.iter()) {
+                assert!(
+                    (x - y).abs() < 1e-12,
+                    "gemm_nt_packed mismatch at {m}x{n}x{k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pack must be")]
+    fn gemm_nt_packed_rejects_short_pack_buffer() {
+        let (m, n, k) = (2usize, 3usize, 4usize);
+        let a = vec![0.0; m * k];
+        let b = vec![0.0; n * k];
+        let mut c = vec![0.0; m * n];
+        let mut pack = vec![0.0; k * n - 1];
+        gemm_nt_packed(&a, &b, &mut c, m, n, k, &mut pack);
     }
 
     #[test]

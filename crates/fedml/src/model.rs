@@ -61,7 +61,7 @@ pub struct EvalStats {
 ///
 /// `Send + Sync` is part of the contract: mechanism engines hand shared
 /// references to the system (which holds a boxed template model) across the
-/// scoped thread pool while each worker mutates only its own model instance.
+/// persistent worker pool while each worker mutates only its own model instance.
 pub trait Model: Send + Sync {
     /// Total number of scalar parameters `q` (the transmitted dimension).
     fn num_params(&self) -> usize;

@@ -1,41 +1,77 @@
-//! Rayon-style fork/join parallelism over `std::thread::scope`.
+//! Rayon-style fork/join parallelism over a **persistent worker pool**.
 //!
 //! The build container has no crates.io access, so this crate provides the
 //! small slice of the rayon API the workspace needs — `par_iter().map(..)
-//! .collect()` over slices and owned vectors — implemented with scoped
-//! threads and contiguous chunking. There is **no persistent pool**: each
-//! `collect()` spawns up to `min(max_threads, items)` OS threads and joins
-//! them, so the per-call overhead is tens of microseconds — fine for the
-//! engines' per-round local-training fan-out, wasteful for micro-tasks
-//! (a persistent pool is a ROADMAP open item). Two properties matter to
-//! the callers:
+//! .collect()` over slices and owned vectors, plus the raw
+//! [`fork_join_chunks`] primitive they are built on — without pulling in a
+//! dependency.
 //!
-//! * **Order preservation**: `collect()` returns results in input order, so a
-//!   reduction over the collected vector is performed in a fixed order and
-//!   parallel runs are bit-identical to sequential runs (floating-point
-//!   addition is not associative; a work-stealing reduction would not be
-//!   deterministic).
+//! ## Persistent pool semantics
+//!
+//! Worker threads are started **once**, on the first parallel call, and then
+//! park on a condvar between calls. A fork/join call splits its input into
+//! contiguous chunks, publishes the call to a global queue, wakes the
+//! workers, and *participates itself*: the calling thread claims and executes
+//! chunks exactly like a worker until none are left, then waits for the
+//! chunks other threads claimed to finish. Compared to the previous
+//! spawn-per-call design (`std::thread::scope`, tens of microseconds of
+//! thread start/join per call) the steady-state cost of a fan-out is a queue
+//! push, a condvar wake and one uncontended latch — which is what makes
+//! per-round parallelism profitable even for very small groups (see the
+//! `pool` bench group).
+//!
+//! ## Nesting rules
+//!
+//! Fork/join calls may nest arbitrarily: a closure running on a pool worker
+//! (or on the caller) can itself call [`fork_join_chunks`] / `par_iter`.
+//! Nested calls push to the same global queue, so **idle workers help with
+//! inner fan-outs**; and because every caller executes its own unclaimed
+//! chunks before blocking, a call can always complete on the calling thread
+//! alone — there is no cyclic wait and **no deadlock**, whatever the nesting
+//! depth. (A chunk claimed by another thread is always being actively
+//! executed, and its own nested waits satisfy the same invariant
+//! inductively.) The experiment harness exploits this: `run_grid` fans
+//! independent experiment cells over the pool while each cell's training
+//! rounds keep issuing inner per-member fan-outs.
+//!
+//! ## Determinism
+//!
+//! Two properties keep parallel runs **bit-identical** to sequential runs:
+//!
+//! * **Fixed chunk → output mapping**: chunks are contiguous input ranges and
+//!   each writes its own output slot; `collect()` concatenates the slots in
+//!   input order. Which thread executes a chunk (or in what order) cannot
+//!   affect the result, so a work-claiming scheduler is safe to use — the
+//!   *assignment* of items to chunks is deterministic, the *scheduling* of
+//!   chunks is free.
 //! * **No shared mutable state**: the `map` closure receives each item by
 //!   value / shared reference; any per-item RNG or scratch state must travel
 //!   inside the item itself, which is exactly how the training engine hands
 //!   each worker its own `Rng64` stream and scratch workspace.
 //!
 //! Thread count defaults to [`std::thread::available_parallelism`] and can be
-//! pinned with the `PARALLEL_THREADS` environment variable (``1`` forces
-//! sequential execution, useful for profiling and determinism checks —
-//! although by construction the results are identical either way).
+//! pinned with the `PARALLEL_THREADS` environment variable, read once at
+//! first use (``1`` forces fully sequential, in-line execution — no worker
+//! threads are ever spawned — useful for profiling; by construction the
+//! results are identical either way, which the CI determinism job checks by
+//! diffing experiment outputs across thread counts).
+//!
+//! A panic inside a chunk is captured, the remaining chunks still run (so the
+//! fork/join protocol stays balanced), and the first panic payload is
+//! re-thrown on the calling thread once the call completes.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Convenience re-exports mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{IntoParVec, ParSlice};
 }
 
-/// Maximum number of worker threads fork/join calls will use.
+/// Maximum number of threads a fork/join call will use (the calling thread
+/// plus [`pool_workers`] persistent workers).
 pub fn max_threads() -> usize {
     static CACHED: OnceLock<usize> = OnceLock::new();
     *CACHED.get_or_init(|| {
@@ -48,6 +84,269 @@ pub fn max_threads() -> usize {
             .map(|n| n.get())
             .unwrap_or(1)
     })
+}
+
+/// Number of persistent worker threads backing the pool: `max_threads() - 1`
+/// (the calling thread is the remaining participant), hence `0` when the
+/// pool is configured for sequential execution. Calling this starts the pool
+/// if it has not started yet.
+pub fn pool_workers() -> usize {
+    pool::workers()
+}
+
+/// Run `run(0), run(1), …, run(chunks - 1)`, distributing the chunk indices
+/// across the persistent pool; returns when every chunk has completed.
+///
+/// This is the primitive beneath `par_iter().map(..).collect()`. The calling
+/// thread participates (it claims and executes chunks like a worker), so the
+/// call completes even if every pool worker is busy, and nested calls are
+/// deadlock-free (see the module docs). With `chunks <= 1` or a sequential
+/// pool configuration the chunks run in-line in index order.
+///
+/// If any chunk panics, the remaining chunks still execute and the first
+/// panic is re-thrown on the calling thread afterwards.
+pub fn fork_join_chunks<F: Fn(usize) + Sync>(chunks: usize, run: &F) {
+    pool::fork_join(chunks, run)
+}
+
+/// Reference implementation of [`fork_join_chunks`] that spawns one scoped OS
+/// thread per chunk and joins them — the crate's pre-pool behaviour. Kept
+/// (not used by any engine path) as the baseline the `pool` benchmark group
+/// measures the persistent pool's amortised overhead against.
+pub fn fork_join_chunks_spawned<F: Fn(usize) + Sync>(chunks: usize, run: &F) {
+    if chunks <= 1 {
+        for c in 0..chunks {
+            run(c);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        for c in 1..chunks {
+            s.spawn(move || run(c));
+        }
+        run(0);
+    });
+}
+
+/// The persistent pool internals: the one module that needs `unsafe` (the
+/// fork/join protocol sends a lifetime-erased pointer to the stack-allocated
+/// call descriptor to the worker threads).
+#[allow(unsafe_code)]
+mod pool {
+    use super::max_threads;
+    use std::any::Any;
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    /// One fork/join call in flight. Lives on the calling thread's stack for
+    /// the whole call: the caller does not return until `done == chunks`.
+    struct FanOut {
+        /// Type-erased chunk runner: `call(data, chunk_index)` invokes the
+        /// caller's `&F` closure. Erasing through a shim function keeps the
+        /// unsafe surface to two pointer casts.
+        data: *const (),
+        call: fn(*const (), usize),
+        chunks: usize,
+        /// Next chunk index to claim. Only ever advanced **under the pool's
+        /// queue lock**, so the removal of an exhausted call from the queue
+        /// is atomic with the claim of its final chunk.
+        next: AtomicUsize,
+        /// Completed-chunk count plus the first captured panic payload.
+        state: Mutex<DoneState>,
+        all_done: Condvar,
+    }
+
+    struct DoneState {
+        done: usize,
+        panic: Option<Box<dyn Any + Send>>,
+    }
+
+    fn shim<F: Fn(usize) + Sync>(data: *const (), chunk: usize) {
+        // SAFETY: `data` was created from a live `&F` in `fork_join`, and the
+        // fork/join protocol guarantees the referent outlives every call
+        // (the caller blocks until all chunks complete).
+        let f = unsafe { &*(data as *const F) };
+        f(chunk);
+    }
+
+    /// Queue entry: raw pointer to a stack-owned [`FanOut`].
+    struct FanPtr(*const FanOut);
+    // SAFETY: a `FanPtr` is only dereferenced while the fork/join protocol
+    // keeps its referent alive — see the invariants in `claim_front`.
+    unsafe impl Send for FanPtr {}
+
+    struct Shared {
+        queue: Mutex<VecDeque<FanPtr>>,
+        work_available: Condvar,
+        workers: usize,
+    }
+
+    /// The process-global pool, started lazily on first use. `None` when the
+    /// configuration is sequential (`max_threads() == 1`): no worker threads
+    /// are ever spawned in that case.
+    fn shared() -> Option<&'static Shared> {
+        static POOL: OnceLock<Option<&'static Shared>> = OnceLock::new();
+        *POOL.get_or_init(|| {
+            let workers = max_threads().saturating_sub(1);
+            if workers == 0 {
+                return None;
+            }
+            let sh: &'static Shared = Box::leak(Box::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                work_available: Condvar::new(),
+                workers,
+            }));
+            for i in 0..workers {
+                std::thread::Builder::new()
+                    .name(format!("parallel-{i}"))
+                    .spawn(move || worker_loop(sh))
+                    .expect("failed to spawn pool worker thread");
+            }
+            Some(sh)
+        })
+    }
+
+    pub(super) fn workers() -> usize {
+        shared().map_or(0, |s| s.workers)
+    }
+
+    /// Worker body: claim a chunk of some queued call, execute it, repeat;
+    /// park on the condvar while the queue is empty. Workers are detached and
+    /// live until process exit.
+    fn worker_loop(sh: &'static Shared) {
+        loop {
+            let (fan, chunk) = {
+                let mut q = sh.queue.lock().expect("pool queue poisoned");
+                loop {
+                    if let Some(claimed) = claim_front(&mut q) {
+                        break claimed;
+                    }
+                    q = sh
+                        .work_available
+                        .wait(q)
+                        .expect("pool queue poisoned while parked");
+                }
+            };
+            execute(fan, chunk);
+        }
+    }
+
+    /// Under the queue lock: claim the next chunk of the front call, popping
+    /// the call once its final chunk is claimed.
+    ///
+    /// Pointer-validity invariant: a call is pushed before its caller claims
+    /// any chunk, is removed (under this same lock) together with the claim
+    /// of its final chunk, and its caller keeps the `FanOut` alive until
+    /// every *claimed* chunk has completed. So any entry observed in the
+    /// queue still has unclaimed chunks, and its pointer is live for the
+    /// duration of the claimed chunk's execution.
+    fn claim_front(q: &mut VecDeque<FanPtr>) -> Option<(*const FanOut, usize)> {
+        loop {
+            let &FanPtr(p) = q.front()?;
+            // SAFETY: see the invariant above.
+            let fan = unsafe { &*p };
+            let c = fan.next.fetch_add(1, Ordering::Relaxed);
+            if c + 1 >= fan.chunks {
+                q.pop_front();
+            }
+            if c < fan.chunks {
+                return Some((p, c));
+            }
+            // Defensive: an exhausted entry should never be observable (it is
+            // popped with its final claim); if it were, skip to the next.
+        }
+    }
+
+    /// The calling thread's claim path (its call may sit anywhere in the
+    /// queue, not just at the front). Same lock, same invariants.
+    fn claim_mine(sh: &Shared, fan: &FanOut, me: *const FanOut) -> Option<usize> {
+        let mut q = sh.queue.lock().expect("pool queue poisoned");
+        let c = fan.next.fetch_add(1, Ordering::Relaxed);
+        if c + 1 >= fan.chunks {
+            q.retain(|e| !std::ptr::eq(e.0, me));
+        }
+        (c < fan.chunks).then_some(c)
+    }
+
+    /// Execute one claimed chunk and publish its completion. Panics are
+    /// captured so the protocol stays balanced; the first payload is
+    /// re-thrown by the caller after the join.
+    fn execute(p: *const FanOut, chunk: usize) {
+        // SAFETY: the chunk was claimed under the queue lock, so the caller
+        // is still blocked in `fork_join` waiting for this completion and the
+        // `FanOut` is alive (see `claim_front`).
+        let fan = unsafe { &*p };
+        let result = catch_unwind(AssertUnwindSafe(|| (fan.call)(fan.data, chunk)));
+        let mut st = fan.state.lock().expect("fork/join latch poisoned");
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.done += 1;
+        if st.done == fan.chunks {
+            // The caller can only observe `done == chunks` after this guard
+            // drops, at which point this thread no longer touches `fan`.
+            fan.all_done.notify_all();
+        }
+    }
+
+    pub(super) fn fork_join<F: Fn(usize) + Sync>(chunks: usize, run: &F) {
+        let sequential = chunks <= 1;
+        let Some(sh) = (if sequential { None } else { shared() }) else {
+            for c in 0..chunks {
+                run(c);
+            }
+            return;
+        };
+        let fan = FanOut {
+            data: run as *const F as *const (),
+            call: shim::<F>,
+            chunks,
+            next: AtomicUsize::new(0),
+            state: Mutex::new(DoneState {
+                done: 0,
+                panic: None,
+            }),
+            all_done: Condvar::new(),
+        };
+        let me: *const FanOut = &fan;
+        {
+            let mut q = sh.queue.lock().expect("pool queue poisoned");
+            q.push_back(FanPtr(me));
+        }
+        // Wake only as many workers as there are chunks the caller cannot
+        // take itself: the engines' hottest fan-outs are 2–4 chunks, and
+        // notify_all would stampede every parked worker into the queue lock
+        // just to find the call already drained by the help-first loop below.
+        let wakes = chunks - 1;
+        if wakes >= sh.workers {
+            sh.work_available.notify_all();
+        } else {
+            for _ in 0..wakes {
+                sh.work_available.notify_one();
+            }
+        }
+        // Help-first: execute our own chunks until they are all claimed.
+        while let Some(c) = claim_mine(sh, &fan, me) {
+            execute(me, c);
+        }
+        // Join: wait for the chunks other threads claimed.
+        let mut st = fan.state.lock().expect("fork/join latch poisoned");
+        while st.done < fan.chunks {
+            st = fan
+                .all_done
+                .wait(st)
+                .expect("fork/join latch poisoned while waiting");
+        }
+        let payload = st.panic.take();
+        drop(st);
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
 }
 
 /// Parallel iteration over slices, mirroring `rayon`'s `par_iter()`.
@@ -106,8 +405,15 @@ pub struct ParMap<'a, T, F> {
     f: F,
 }
 
+/// Contiguous chunk length for `n` items: the same division the spawn-based
+/// implementation used, so chunk boundaries (and therefore every per-chunk
+/// artifact) are unchanged across the pool rewrite.
+fn chunk_len(n: usize) -> usize {
+    n.div_ceil(max_threads().min(n.max(1)))
+}
+
 impl<'a, T: Sync, F> ParMap<'a, T, F> {
-    /// Execute the map and collect the results in input order.
+    /// Execute the map on the pool and collect the results in input order.
     pub fn collect<R, C>(self) -> C
     where
         R: Send,
@@ -115,24 +421,25 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
         C: FromOrdered<R>,
     {
         let n = self.items.len();
-        let threads = max_threads().min(n.max(1));
         let f = &self.f;
-        if threads <= 1 || n < 2 {
+        if max_threads() <= 1 || n < 2 {
             return C::from_vec(self.items.iter().map(f).collect());
         }
-        let chunk = n.div_ceil(threads);
-        let out = std::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .items
-                .chunks(chunk)
-                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            let mut out = Vec::with_capacity(n);
-            for h in handles {
-                out.extend(h.join().expect("parallel map worker panicked"));
-            }
-            out
+        let chunk = chunk_len(n);
+        let nchunks = n.div_ceil(chunk);
+        let items = self.items;
+        // One output slot per chunk; each chunk locks only its own slot, once.
+        let slots: Vec<Mutex<Vec<R>>> = (0..nchunks).map(|_| Mutex::new(Vec::new())).collect();
+        fork_join_chunks(nchunks, &|c| {
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(n);
+            let out: Vec<R> = items[lo..hi].iter().map(f).collect();
+            *slots[c].lock().expect("par map slot poisoned") = out;
         });
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            out.extend(slot.into_inner().expect("par map slot poisoned"));
+        }
         C::from_vec(out)
     }
 }
@@ -163,7 +470,7 @@ pub struct ParIntoMap<T, F> {
 }
 
 impl<T: Send, F> ParIntoMap<T, F> {
-    /// Execute the map and collect the results in input order.
+    /// Execute the map on the pool and collect the results in input order.
     pub fn collect<R, C>(self) -> C
     where
         R: Send,
@@ -171,32 +478,39 @@ impl<T: Send, F> ParIntoMap<T, F> {
         C: FromOrdered<R>,
     {
         let n = self.items.len();
-        let threads = max_threads().min(n.max(1));
         let f = &self.f;
-        if threads <= 1 || n < 2 {
+        if max_threads() <= 1 || n < 2 {
             return C::from_vec(self.items.into_iter().map(f).collect());
         }
-        let chunk = n.div_ceil(threads);
-        // Split the input into per-thread contiguous chunks, preserving order.
-        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let chunk = chunk_len(n);
+        // Split the input into per-chunk contiguous vectors, preserving order.
+        let mut split: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(chunk));
         let mut rest = self.items;
         while rest.len() > chunk {
             let tail = rest.split_off(chunk);
-            chunks.push(rest);
+            split.push(rest);
             rest = tail;
         }
-        chunks.push(rest);
-        let out = std::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            let mut out = Vec::with_capacity(n);
-            for h in handles {
-                out.extend(h.join().expect("parallel map worker panicked"));
-            }
-            out
+        split.push(rest);
+        let nchunks = split.len();
+        // Input handed out through per-chunk slots (each taken exactly once),
+        // results returned the same way.
+        let inputs: Vec<Mutex<Option<Vec<T>>>> =
+            split.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let slots: Vec<Mutex<Vec<R>>> = (0..nchunks).map(|_| Mutex::new(Vec::new())).collect();
+        fork_join_chunks(nchunks, &|c| {
+            let chunk_items = inputs[c]
+                .lock()
+                .expect("par map input slot poisoned")
+                .take()
+                .expect("chunk input taken twice");
+            let out: Vec<R> = chunk_items.into_iter().map(f).collect();
+            *slots[c].lock().expect("par map slot poisoned") = out;
         });
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            out.extend(slot.into_inner().expect("par map slot poisoned"));
+        }
         C::from_vec(out)
     }
 }
@@ -269,6 +583,30 @@ mod tests {
     }
 
     #[test]
+    fn fork_join_runs_every_chunk_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counts: Vec<AtomicUsize> = (0..23).map(|_| AtomicUsize::new(0)).collect();
+        fork_join_chunks(counts.len(), &|c| {
+            counts[c].fetch_add(1, Ordering::Relaxed);
+        });
+        for (c, cnt) in counts.iter().enumerate() {
+            assert_eq!(cnt.load(Ordering::Relaxed), 1, "chunk {c}");
+        }
+        // Zero chunks is a no-op.
+        fork_join_chunks(0, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn spawned_reference_runs_every_chunk() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let total = AtomicUsize::new(0);
+        fork_join_chunks_spawned(8, &|c| {
+            total.fetch_add(c + 1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 36);
+    }
+
+    #[test]
     fn disjoint_muts_yields_every_requested_element() {
         let mut xs = vec![0, 10, 20, 30, 40, 50];
         let muts = disjoint_muts(&mut xs, &[1, 3, 4]);
@@ -296,5 +634,22 @@ mod tests {
         for (a, b) in mapped.iter().zip(seq.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn nested_fan_out_matches_nested_sequential() {
+        // Inner par_iter inside an outer par_iter; compare against the plain
+        // nested iterator computation.
+        let outer: Vec<u64> = (0..32).collect();
+        let nested: Vec<u64> = outer
+            .par_iter()
+            .map(|&o| {
+                let inner: Vec<u64> = (0..50u64).collect();
+                let mapped: Vec<u64> = inner.par_iter().map(|&i| i * o).collect();
+                mapped.iter().sum()
+            })
+            .collect();
+        let expect: Vec<u64> = outer.iter().map(|&o| (0..50u64).sum::<u64>() * o).collect();
+        assert_eq!(nested, expect);
     }
 }

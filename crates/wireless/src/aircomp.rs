@@ -59,6 +59,39 @@ impl AirAggregationResult {
     }
 }
 
+/// Reusable scratch for [`air_aggregate_into`]: the ideal-model buffer and
+/// the per-worker energy vector that the allocating [`air_aggregate`] wrapper
+/// would otherwise create fresh each round. One instance per engine loop,
+/// reused across every round (buffers grow to the group/model size once and
+/// stay there).
+#[derive(Debug, Default)]
+pub struct AirAggregationScratch {
+    /// The ideal (error-free) group model `Σ (d_i/D_j) w_i^t` of Eq. (15),
+    /// as of the most recent [`air_aggregate_into`] call.
+    pub ideal: FlatParams,
+    /// Energy `E_i^t` spent by each participating worker (Eq. (7)), in input
+    /// order, as of the most recent call.
+    pub per_worker_energy: Vec<f64>,
+}
+
+impl AirAggregationScratch {
+    /// Create empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The scalar outputs of one in-place over-the-air aggregation (the vector
+/// outputs land in the caller's estimate buffer and
+/// [`AirAggregationScratch`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AirAggregationStats {
+    /// Squared L2 norm of the aggregation error `ε_j^t` (Eq. (17)).
+    pub error_norm_sq: f64,
+    /// Total data size `D_{j_t}` of the participants.
+    pub group_data_size: f64,
+}
+
 /// Perform one over-the-air aggregation (Eq. (9) + the denoising of Eq. (10)).
 ///
 /// * `sigma` / `eta` — the power-scaling and denoising factors chosen by
@@ -66,6 +99,10 @@ impl AirAggregationResult {
 /// * `noise_variance` — AWGN variance σ₀² at the server (0 disables noise).
 ///
 /// Panics if the inputs are empty or have mismatched dimensions.
+///
+/// Allocating convenience wrapper around [`air_aggregate_into`]; the engine
+/// loops call the `_into` variant with round-persistent buffers so the whole
+/// AirComp round is allocation-free in steady state.
 pub fn air_aggregate(
     inputs: &[AirAggregationInput<'_>],
     sigma: f64,
@@ -73,6 +110,41 @@ pub fn air_aggregate(
     noise_variance: f64,
     rng: &mut Rng64,
 ) -> AirAggregationResult {
+    let dim = inputs.first().map_or(0, |c| c.params.dim());
+    let mut group_estimate = FlatParams::zeros(dim);
+    let mut scratch = AirAggregationScratch::new();
+    let stats = air_aggregate_into(
+        inputs,
+        sigma,
+        eta,
+        noise_variance,
+        rng,
+        &mut group_estimate,
+        &mut scratch,
+    );
+    AirAggregationResult {
+        group_estimate,
+        ideal_group_model: scratch.ideal,
+        error_norm_sq: stats.error_norm_sq,
+        per_worker_energy: scratch.per_worker_energy,
+        group_data_size: stats.group_data_size,
+    }
+}
+
+/// In-place variant of [`air_aggregate`]: writes the denoised group estimate
+/// into `group_estimate` (resized to the model dimension) and the secondary
+/// outputs into `scratch`, so the per-round engine loop performs **zero**
+/// heap allocations once the buffers have grown to size. Bit-identical to
+/// [`air_aggregate`] (same accumulation order, same RNG draw order).
+pub fn air_aggregate_into(
+    inputs: &[AirAggregationInput<'_>],
+    sigma: f64,
+    eta: f64,
+    noise_variance: f64,
+    rng: &mut Rng64,
+    group_estimate: &mut FlatParams,
+    scratch: &mut AirAggregationScratch,
+) -> AirAggregationStats {
     assert!(
         !inputs.is_empty(),
         "over-the-air aggregation with no workers"
@@ -84,36 +156,33 @@ pub fn air_aggregate(
     let group_data_size: f64 = inputs.iter().map(|c| c.data_size).sum();
     assert!(group_data_size > 0.0, "group data size must be positive");
 
-    // Received superposed signal y_t = sum_i d_i sigma w_i + z_t.
-    let mut received = FlatParams::zeros(dim);
+    // Received superposed signal y_t = sum_i d_i sigma w_i + z_t, accumulated
+    // directly in the caller's estimate buffer.
+    group_estimate.0.resize(dim, 0.0);
+    group_estimate.as_mut_slice().fill(0.0);
     // Ideal group model sum_i (d_i / D_j) w_i.
-    let mut ideal = FlatParams::zeros(dim);
-    let mut per_worker_energy = Vec::with_capacity(inputs.len());
+    scratch.ideal.0.resize(dim, 0.0);
+    scratch.ideal.as_mut_slice().fill(0.0);
+    scratch.per_worker_energy.clear();
     for c in inputs {
         assert_eq!(c.params.dim(), dim, "parameter dimension mismatch");
         assert!(c.data_size > 0.0, "worker data size must be positive");
-        received.axpy(c.data_size * sigma, c.params);
-        ideal.axpy(c.data_size / group_data_size, c.params);
+        group_estimate.axpy(c.data_size * sigma, c.params);
+        scratch.ideal.axpy(c.data_size / group_data_size, c.params);
         let p = transmit_power(c.data_size, sigma, c.channel_gain);
-        per_worker_energy.push(transmit_energy(p, c.params));
+        scratch.per_worker_energy.push(transmit_energy(p, c.params));
     }
     if noise_variance > 0.0 {
         let std = noise_variance.sqrt();
-        for v in received.as_mut_slice() {
-            *v += rng.gaussian_with(0.0, std);
-        }
+        rng.add_gaussian_noise(group_estimate.as_mut_slice(), std);
     }
 
     // Denoised group estimate w~ = y / (D_j sqrt(eta)).
-    let mut group_estimate = received;
     group_estimate.scale(1.0 / (group_data_size * eta.sqrt()));
-    let error_norm_sq = group_estimate.dist_sq(&ideal);
+    let error_norm_sq = group_estimate.dist_sq(&scratch.ideal);
 
-    AirAggregationResult {
-        group_estimate,
-        ideal_group_model: ideal,
+    AirAggregationStats {
         error_norm_sq,
-        per_worker_energy,
         group_data_size,
     }
 }
@@ -266,6 +335,55 @@ mod tests {
     fn rejects_empty_group() {
         let mut rng = Rng64::seed_from(4);
         let _ = air_aggregate(&[], 1.0, 1.0, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn into_variant_is_bit_identical_and_reuses_buffers() {
+        let a = params(vec![1.0, -0.5, 2.0, 0.25]);
+        let b = params(vec![3.0, 4.0, -2.0, 1.5]);
+        let inputs = vec![
+            AirAggregationInput {
+                data_size: 10.0,
+                channel_gain: 0.8,
+                params: &a,
+            },
+            AirAggregationInput {
+                data_size: 30.0,
+                channel_gain: 0.5,
+                params: &b,
+            },
+        ];
+        let mut estimate = FlatParams::zeros(0);
+        let mut scratch = AirAggregationScratch::new();
+        for round in 0..3 {
+            // Same rng seed each round: the in-place path must consume the
+            // exact same draw sequence as the allocating one.
+            let mut rng_a = Rng64::seed_from(100 + round);
+            let mut rng_b = Rng64::seed_from(100 + round);
+            let res = air_aggregate(&inputs, 1.3, 1.7, 0.2, &mut rng_a);
+            let stats = air_aggregate_into(
+                &inputs,
+                1.3,
+                1.7,
+                0.2,
+                &mut rng_b,
+                &mut estimate,
+                &mut scratch,
+            );
+            assert_eq!(stats.group_data_size, res.group_data_size);
+            assert_eq!(stats.error_norm_sq.to_bits(), res.error_norm_sq.to_bits());
+            for (x, y) in estimate.0.iter().zip(res.group_estimate.0.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in scratch.ideal.0.iter().zip(res.ideal_group_model.0.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(scratch.per_worker_energy, res.per_worker_energy);
+        }
+        // Steady state: buffers settled at the model dimension, no regrowth.
+        assert_eq!(estimate.dim(), 4);
+        assert_eq!(scratch.ideal.dim(), 4);
+        assert!(scratch.per_worker_energy.capacity() >= 2);
     }
 
     #[test]

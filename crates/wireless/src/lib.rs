@@ -26,7 +26,10 @@ pub mod energy;
 pub mod power;
 pub mod timing;
 
-pub use aircomp::{air_aggregate, AirAggregationInput, AirAggregationResult};
+pub use aircomp::{
+    air_aggregate, air_aggregate_into, AirAggregationInput, AirAggregationResult,
+    AirAggregationScratch, AirAggregationStats,
+};
 pub use channel::ChannelModel;
 pub use power::{optimize_power, PowerControlConfig, PowerSolution};
 pub use timing::{OmaScheme, WirelessConfig};

@@ -20,7 +20,10 @@ use air_fedga::grouping::emd::average_group_emd;
 use air_fedga::grouping::greedy::{greedy_grouping, GreedyGroupingConfig};
 use air_fedga::grouping::objective::{GroupingObjective, ObjectiveConstants};
 use air_fedga::grouping::worker_info::{Grouping, WorkerInfo};
-use air_fedga::wireless::aircomp::{air_aggregate, apply_group_update, AirAggregationInput};
+use air_fedga::wireless::aircomp::{
+    air_aggregate, air_aggregate_into, apply_group_update, AirAggregationInput,
+    AirAggregationScratch,
+};
 use air_fedga::wireless::power::{optimize_power, transmit_power, PowerControlConfig};
 use bench::reference::{logreg_loss_and_gradient, mlp_loss_and_gradient};
 
@@ -326,4 +329,139 @@ fn parallel_rounds_are_bit_identical_to_sequential() {
             }
         }
     }
+}
+
+/// The packed `gemm_nt` agrees with the naive triple loop to 1e-12 on random
+/// shapes and data — same tolerance the unpacked kernel is held to.
+#[test]
+fn packed_gemm_nt_matches_naive() {
+    use air_fedga::fedml::linalg::gemm_nt_packed;
+    let mut rng = Rng64::seed_from(7101);
+    for case in 0..CASES {
+        let m = 1 + rng.index(40);
+        let n = 1 + rng.index(40);
+        let k = 1 + rng.index(60);
+        let a: Vec<f64> = (0..m * k).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+        let b: Vec<f64> = (0..n * k).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+        let mut pack = vec![f64::NAN; k * n];
+        let mut c = vec![f64::NAN; m * n];
+        gemm_nt_packed(&a, &b, &mut c, m, n, k, &mut pack);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for l in 0..k {
+                    s += a[i * k + l] * b[j * k + l];
+                }
+                assert!(
+                    (c[i * n + j] - s).abs() < 1e-12,
+                    "case {case}: packed gemm_nt mismatch at ({i},{j}) of {m}x{n}x{k}"
+                );
+            }
+        }
+    }
+}
+
+/// The zero-alloc `air_aggregate_into` is bit-identical to the allocating
+/// `air_aggregate` on random groups, factors and noise levels — including
+/// when its buffers are reused (dirty) across calls of different dimensions.
+#[test]
+fn air_aggregate_into_is_bit_identical_to_allocating_path() {
+    let mut rng = Rng64::seed_from(7102);
+    let mut estimate = FlatParams::zeros(0);
+    let mut scratch = AirAggregationScratch::new();
+    for case in 0..CASES {
+        let dim = 1 + rng.index(64);
+        let group = 1 + rng.index(6);
+        let params: Vec<FlatParams> = (0..group)
+            .map(|_| FlatParams((0..dim).map(|_| rng.gaussian()).collect()))
+            .collect();
+        let inputs: Vec<AirAggregationInput<'_>> = params
+            .iter()
+            .map(|p| AirAggregationInput {
+                data_size: rng.uniform_range(1.0, 50.0),
+                channel_gain: rng.uniform_range(0.05, 2.0),
+                params: p,
+            })
+            .collect();
+        let sigma = rng.uniform_range(0.1, 2.0);
+        let eta = rng.uniform_range(0.1, 4.0);
+        let noise = if rng.uniform() < 0.5 {
+            0.0
+        } else {
+            rng.uniform_range(0.0, 1.0)
+        };
+        let seed = 9000 + case as u64;
+        let res = air_aggregate(&inputs, sigma, eta, noise, &mut Rng64::seed_from(seed));
+        let stats = air_aggregate_into(
+            &inputs,
+            sigma,
+            eta,
+            noise,
+            &mut Rng64::seed_from(seed),
+            &mut estimate,
+            &mut scratch,
+        );
+        assert_eq!(
+            stats.error_norm_sq.to_bits(),
+            res.error_norm_sq.to_bits(),
+            "case {case}"
+        );
+        assert_eq!(
+            stats.group_data_size.to_bits(),
+            res.group_data_size.to_bits()
+        );
+        for (x, y) in estimate.0.iter().zip(res.group_estimate.0.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "case {case}: estimate diverged");
+        }
+        for (x, y) in scratch.ideal.0.iter().zip(res.ideal_group_model.0.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "case {case}: ideal diverged");
+        }
+        assert_eq!(scratch.per_worker_energy, res.per_worker_energy);
+    }
+}
+
+/// `run_grid` (experiment-level parallelism) returns exactly what the
+/// sequential loop over the same cells returns, bit for bit, including when
+/// every cell runs a full engine round with inner member parallelism (the
+/// nested two-level fan-out of the scalability sweep).
+#[test]
+fn run_grid_with_nested_rounds_matches_sequential_loop() {
+    let mut cfg = FlSystemConfig::mnist_lr_quick();
+    cfg.num_workers = 6;
+    let system = cfg.build(&mut Rng64::seed_from(4));
+    let grouping = Grouping::new(vec![vec![0, 1, 2], vec![3, 4, 5]], 6);
+    let run_cell = |seed: u64| -> Vec<u64> {
+        let opts = EngineOptions {
+            total_rounds: 6,
+            eval_every: 2,
+            max_virtual_time: None,
+            aggregation: AggregationMode::AirComp {
+                power_control: true,
+                noise: true,
+            },
+            parallel: true,
+        };
+        run_group_async(
+            &system,
+            &grouping,
+            &opts,
+            "cell",
+            &mut Rng64::seed_from(seed),
+        )
+        .points()
+        .iter()
+        .flat_map(|p| {
+            [
+                p.loss.to_bits(),
+                p.accuracy.to_bits(),
+                p.time.to_bits(),
+                p.energy.to_bits(),
+            ]
+        })
+        .collect()
+    };
+    let cells: Vec<u64> = (100..108).collect();
+    let grid = experiments::harness::run_grid(cells.clone(), run_cell);
+    let seq: Vec<Vec<u64>> = cells.into_iter().map(run_cell).collect();
+    assert_eq!(grid, seq);
 }
