@@ -29,7 +29,8 @@ use grouping::worker_info::Grouping;
 use simcore::events::EventQueue;
 use simcore::trace::{TracePoint, TrainingTrace};
 use wireless::aircomp::{
-    air_aggregate_into, apply_group_update_in_place, AirAggregationInput, AirAggregationScratch,
+    air_aggregate_indexed_into, apply_group_update_in_place, AirAggregationInput,
+    AirAggregationScratch,
 };
 use wireless::energy::EnergyLedger;
 use wireless::power::{optimize_power, PowerControlConfig};
@@ -95,8 +96,9 @@ impl EngineOptions {
 /// worker owns a persistent [`WorkerPool`] slot (model, RNG stream, scratch
 /// workspace, local-parameter buffer), the per-group dispatch vectors,
 /// power-control buffers and the AirComp estimate/ideal/energy buffers
-/// ([`air_aggregate_into`] + [`AirAggregationScratch`]) are all reused across
-/// rounds, and evaluation runs through the batched `evaluate_ws` path. With
+/// ([`air_aggregate_indexed_into`] gathering straight from them +
+/// [`AirAggregationScratch`]) are all reused across rounds, and evaluation
+/// runs through the batched `evaluate_ws` path. With
 /// `opts.parallel` the members of the aggregating group train concurrently on
 /// the persistent worker pool — bit-identical to the sequential schedule.
 pub fn run_group_async(
@@ -205,18 +207,17 @@ pub fn run_group_async(
                 } else {
                     (1.0, 1.0)
                 };
-                let inputs: Vec<AirAggregationInput<'_>> = members
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &w)| AirAggregationInput {
+                let noise_var = if noise { wireless.noise_variance } else { 0.0 };
+                // Gather straight from the round-persistent buffers: no
+                // per-round Vec<AirAggregationInput> — this was the last
+                // steady-state allocation on the AirComp path.
+                air_aggregate_indexed_into(
+                    members.len(),
+                    |k| AirAggregationInput {
                         data_size: data_sizes[k],
                         channel_gain: gains[k],
-                        params: pool.local(w),
-                    })
-                    .collect();
-                let noise_var = if noise { wireless.noise_variance } else { 0.0 };
-                air_aggregate_into(
-                    &inputs,
+                        params: pool.local(members[k]),
+                    },
                     sigma,
                     eta,
                     noise_var,

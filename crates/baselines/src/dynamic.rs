@@ -19,7 +19,8 @@ use fedml::rng::Rng64;
 use fedml::workspace::Workspace;
 use simcore::trace::{TracePoint, TrainingTrace};
 use wireless::aircomp::{
-    air_aggregate_into, apply_group_update_in_place, AirAggregationInput, AirAggregationScratch,
+    air_aggregate_indexed_into, apply_group_update_in_place, AirAggregationInput,
+    AirAggregationScratch,
 };
 use wireless::energy::EnergyLedger;
 use wireless::power::{optimize_power, PowerControlConfig};
@@ -171,22 +172,20 @@ impl FlMechanism for Dynamic {
             } else {
                 (1.0, 1.0)
             };
-            let inputs: Vec<AirAggregationInput<'_>> = selected
-                .iter()
-                .enumerate()
-                .map(|(i, &w)| AirAggregationInput {
-                    data_size: data_sizes[i],
-                    channel_gain: sel_gains[i],
-                    params: pool.local(w),
-                })
-                .collect();
             let noise_var = if cfg.channel_noise {
                 wireless.noise_variance
             } else {
                 0.0
             };
-            air_aggregate_into(
-                &inputs,
+            // Gather straight from the round-persistent buffers: no per-round
+            // Vec<AirAggregationInput> allocation.
+            air_aggregate_indexed_into(
+                selected.len(),
+                |i| AirAggregationInput {
+                    data_size: data_sizes[i],
+                    channel_gain: sel_gains[i],
+                    params: pool.local(selected[i]),
+                },
                 sigma,
                 eta,
                 noise_var,

@@ -8,20 +8,29 @@
 //! updates). Total training time consequently grows with `N` for the OMA
 //! mechanisms and shrinks for the AirComp ones, with Air-FedGA fastest at
 //! `N = 100`.
+//!
+//! `--seeds N` replicates every (worker-count, mechanism) cell over N run
+//! seeds (4242, 4243, …): tables and `fig10_scalability.csv` then carry
+//! mean±std columns. The default (1) is byte-identical to the historical
+//! single-seed output.
 
 use airfedga::system::FlSystemConfig;
-use experiments::harness::{compare_mechanisms, run_grid, MechanismChoice};
+use experiments::harness::{compare_on_system_replicated, run_grid, MechanismChoice};
 use experiments::report::{fmt_opt_secs, fmt_secs, try_write_csv, Table};
-use experiments::scale::Scale;
+use experiments::scale::{seeds_flag, Scale};
+use experiments::stats::{replication_seeds, CellStats};
+use fedml::rng::Rng64;
 
 fn main() {
     let scale = Scale::from_env();
+    let seeds = replication_seeds(4242, seeds_flag());
     let worker_counts: Vec<usize> = match scale {
         Scale::Full => vec![20, 40, 60, 80, 100],
         Scale::Quick => vec![10, 20],
     };
     let target = 0.8;
     let mechanisms = MechanismChoice::all();
+    let replicated = seeds.len() > 1;
 
     let mut round_table = Table::new(
         "Fig. 10 (left): average single-round time (s) vs number of workers",
@@ -31,14 +40,22 @@ fn main() {
         "Fig. 10 (right): total time (s) to stable 80% accuracy vs number of workers",
         &["N", "FedAvg", "TiFL", "Dynamic", "Air-FedAvg", "Air-FedGA"],
     );
-    let mut csv = String::from("n,mechanism,avg_round_s,time_to_80_s\n");
+    let mut csv = if replicated {
+        String::from(
+            "n,mechanism,seeds,avg_round_s_mean,avg_round_s_std,\
+             time_to_80_s_mean,time_to_80_s_std,time_to_80_n\n",
+        )
+    } else {
+        String::from("n,mechanism,avg_round_s,time_to_80_s\n")
+    };
 
-    // Two-level grid: the outer cells are the worker counts, and each cell's
-    // compare_mechanisms is itself a run_grid over the mechanisms — nested
-    // fan-out the pool resolves without deadlock. Every cell derives its RNG
-    // streams from its own (system_seed, run_seed), so this is byte-identical
-    // to the sequential double loop it replaced.
-    let per_n = run_grid(worker_counts, |n| {
+    // Two-level grid: the outer cells are the worker counts, and each cell
+    // fans its (mechanism × seed) replicates through the pool again — nested
+    // fan-out the pool resolves without deadlock, with over-decomposition
+    // keeping threads busy across the very uneven per-mechanism costs. Every
+    // replicate derives its RNG streams from its own (system_seed, run_seed),
+    // so this is bit-identical to the sequential triple loop it replaced.
+    let per_n: Vec<(usize, Vec<CellStats>)> = run_grid(worker_counts, |n| {
         let mut cfg = scale.apply(FlSystemConfig::mnist_cnn());
         cfg.num_workers = n;
         // Keep the per-worker shard size constant across the sweep (30
@@ -46,22 +63,22 @@ fn main() {
         // workers adds data: this isolates how the *mechanisms* scale with N
         // rather than how shrinking shards speed up local training.
         cfg.dataset.samples_per_class = 30 * n / cfg.dataset.num_classes.max(1);
-        let summaries = compare_mechanisms(
-            &cfg,
+        let system = cfg.build(&mut Rng64::seed_from(42));
+        let cells = compare_on_system_replicated(
+            &system,
             &mechanisms,
             scale.total_rounds(),
             scale.eval_every(),
             None,
-            42,
-            4242,
+            &seeds,
         );
-        (n, summaries)
+        (n, cells)
     });
-    for (n, summaries) in per_n {
-        let cell = |label: &str, f: &dyn Fn(&experiments::harness::RunSummary) -> String| {
-            summaries
+    for (n, cells) in per_n {
+        let cell = |label: &str, f: &dyn Fn(&CellStats) -> String| {
+            cells
                 .iter()
-                .find(|s| s.mechanism == label)
+                .find(|c| c.mechanism == label)
                 .map(f)
                 .unwrap_or_else(|| "n/a".to_string())
         };
@@ -69,20 +86,46 @@ fn main() {
         let mut round_row = vec![n.to_string()];
         let mut total_row = vec![n.to_string()];
         for label in order {
-            round_row.push(cell(label, &|s| fmt_secs(s.average_round_time)));
-            total_row.push(cell(label, &|s| fmt_opt_secs(s.time_to_accuracy(target))));
+            if replicated {
+                round_row.push(cell(label, &|c| {
+                    c.average_round_time_stats().fmt_mean_std(1)
+                }));
+                total_row.push(cell(label, &|c| {
+                    c.time_to_accuracy_stats(target)
+                        .fmt_with_count(0, seeds.len())
+                }));
+            } else {
+                round_row.push(cell(label, &|c| fmt_secs(c.first().average_round_time)));
+                total_row.push(cell(label, &|c| {
+                    fmt_opt_secs(c.first().time_to_accuracy(target))
+                }));
+            }
         }
         round_table.add_row(round_row);
         total_table.add_row(total_row);
-        for s in &summaries {
-            csv.push_str(&format!(
-                "{n},{},{:.2},{}\n",
-                s.mechanism,
-                s.average_round_time,
-                s.time_to_accuracy(target)
-                    .map(|t| format!("{t:.1}"))
-                    .unwrap_or_default()
-            ));
+        for c in &cells {
+            if replicated {
+                let round = c.average_round_time_stats();
+                let tta = c.time_to_accuracy_stats(target);
+                csv.push_str(&format!(
+                    "{n},{},{},{:.2},{:.2},{}\n",
+                    c.mechanism,
+                    seeds.len(),
+                    round.mean,
+                    round.std,
+                    tta.csv_fields(1),
+                ));
+            } else {
+                let s = c.first();
+                csv.push_str(&format!(
+                    "{n},{},{:.2},{}\n",
+                    s.mechanism,
+                    s.average_round_time,
+                    s.time_to_accuracy(target)
+                        .map(|t| format!("{t:.1}"))
+                        .unwrap_or_default()
+                ));
+            }
         }
         println!("finished N = {n}");
     }

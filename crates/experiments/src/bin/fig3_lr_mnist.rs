@@ -4,11 +4,15 @@
 //! stable 80 % accuracy ≈29.9 % faster than Air-FedAvg and ≈71.6 % faster
 //! than Dynamic; the reproduced ordering (Air-FedGA < Air-FedAvg < Dynamic)
 //! is the shape to check.
+//!
+//! `--seeds N` replicates every mechanism over N run seeds (4242, 4243, …)
+//! and adds mean±std rows plus `fig3_*_errorbars.csv`; the default (1) is
+//! byte-identical to the historical single-seed output.
 
 use airfedga::system::FlSystemConfig;
 use experiments::figures::{print_speedups, run_time_accuracy_figure};
 use experiments::harness::MechanismChoice;
-use experiments::scale::Scale;
+use experiments::scale::{seeds_flag, Scale};
 
 fn main() {
     let outcome = run_time_accuracy_figure(
@@ -18,6 +22,7 @@ fn main() {
         &[0.8, 0.85, 0.9],
         "fig3",
         Scale::from_env(),
+        seeds_flag(),
     );
     print_speedups(&outcome, 0.8);
 }

@@ -4,7 +4,7 @@
 use airfedga::system::FlSystemConfig;
 use experiments::figures::{print_speedups, run_time_accuracy_figure};
 use experiments::harness::MechanismChoice;
-use experiments::scale::Scale;
+use experiments::scale::{seeds_flag, Scale};
 
 fn main() {
     let outcome = run_time_accuracy_figure(
@@ -14,6 +14,7 @@ fn main() {
         &[0.8, 0.85, 0.9],
         "fig4",
         Scale::from_env(),
+        seeds_flag(),
     );
     print_speedups(&outcome, 0.8);
 }

@@ -5,7 +5,7 @@
 use airfedga::system::FlSystemConfig;
 use experiments::figures::{print_speedups, run_time_accuracy_figure};
 use experiments::harness::MechanismChoice;
-use experiments::scale::Scale;
+use experiments::scale::{seeds_flag, Scale};
 
 fn main() {
     let outcome = run_time_accuracy_figure(
@@ -15,6 +15,7 @@ fn main() {
         &[0.3, 0.4, 0.5],
         "fig6",
         Scale::from_env(),
+        seeds_flag(),
     );
     print_speedups(&outcome, 0.4);
 }

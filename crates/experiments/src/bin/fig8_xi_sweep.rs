@@ -6,16 +6,23 @@
 //! to fully-asynchronous single-worker updates (no AirComp benefit, many
 //! stale updates), while ξ → 1 recreates the straggler problem inside large
 //! groups. The reproduced sweep should show both ends slower than the middle.
+//!
+//! `--seeds N` replicates every ξ cell over N run seeds (4242, 4243, …): the
+//! table and `fig8_xi_sweep.csv` then carry mean±std (and the count of seeds
+//! that reached each target) instead of single-draw times. The default (1)
+//! is byte-identical to the historical single-seed output.
 
 use airfedga::mechanism::{AirFedGa, AirFedGaConfig};
 use airfedga::system::{FlMechanism, FlSystemConfig};
-use experiments::harness::run_grid;
+use experiments::harness::{run_grid, run_replicated, RunSummary};
 use experiments::report::{fmt_opt_secs, try_write_csv, Table};
-use experiments::scale::Scale;
+use experiments::scale::{seeds_flag, Scale};
+use experiments::stats::replication_seeds;
 use fedml::rng::Rng64;
 
 fn main() {
     let scale = Scale::from_env();
+    let seeds = replication_seeds(4242, seeds_flag());
     let cfg = scale.apply(FlSystemConfig::mnist_cnn());
     let system = cfg.build(&mut Rng64::seed_from(42));
     let targets = [0.8, 0.85, 0.9];
@@ -23,46 +30,93 @@ fn main() {
         Scale::Full => (0..=10).map(|i| i as f64 / 10.0).collect(),
         Scale::Quick => vec![0.0, 0.3, 0.7, 1.0],
     };
+    let mech_for = |xi: f64| {
+        AirFedGa::new(AirFedGaConfig {
+            xi,
+            total_rounds: scale.total_rounds() * 2,
+            eval_every: scale.eval_every(),
+            ..AirFedGaConfig::default()
+        })
+    };
 
     println!(
         "Fig. 8: time to target accuracy vs xi ({} workers, {:?} scale)\n",
         system.num_workers(),
         scale
     );
-    let mut table = Table::new(
-        "Training time (s) to reach target accuracy vs xi",
-        &["xi", "groups", "t@80%", "t@85%", "t@90%"],
-    );
-    let mut csv = String::from("xi,groups,t80,t85,t90\n");
-    // One grid cell per ξ: each cell re-seeds its own run RNG, so the fanned
-    // sweep is byte-identical to the sequential loop it replaced.
-    let sweep = run_grid(xis, |xi| {
-        let mech = AirFedGa::new(AirFedGaConfig {
-            xi,
-            total_rounds: scale.total_rounds() * 2,
-            eval_every: scale.eval_every(),
-            ..AirFedGaConfig::default()
-        });
-        let grouping = mech.grouping_for(&system);
-        let trace = mech.run(&system, &mut Rng64::seed_from(4242));
-        let times: Vec<Option<f64>> = targets.iter().map(|&t| trace.time_to_accuracy(t)).collect();
-        (xi, grouping.num_groups(), times)
+    // Group counts are seed-independent (Algorithm 3 is deterministic given
+    // the system), so they are computed once per ξ outside the replication.
+    let groups: Vec<usize> = run_grid(xis.clone(), |xi| {
+        mech_for(xi).grouping_for(&system).num_groups()
     });
-    for (xi, num_groups, times) in sweep {
-        table.add_row(vec![
-            format!("{xi:.1}"),
-            format!("{num_groups}"),
-            fmt_opt_secs(times[0]),
-            fmt_opt_secs(times[1]),
-            fmt_opt_secs(times[2]),
-        ]);
-        csv.push_str(&format!(
-            "{xi:.1},{num_groups},{},{},{}\n",
-            times[0].map(|t| format!("{t:.1}")).unwrap_or_default(),
-            times[1].map(|t| format!("{t:.1}")).unwrap_or_default(),
-            times[2].map(|t| format!("{t:.1}")).unwrap_or_default(),
-        ));
+    // One replicated cell per ξ; each (ξ, seed) replicate re-seeds its own
+    // run RNG, so the fanned sweep is bit-identical to the sequential double
+    // loop at any thread count / chunk factor.
+    let sweep = run_replicated(xis.clone(), &seeds, |&xi, seed| {
+        RunSummary::from_trace(mech_for(xi).run(&system, &mut Rng64::seed_from(seed)))
+    });
+
+    if seeds.len() == 1 {
+        let mut table = Table::new(
+            "Training time (s) to reach target accuracy vs xi",
+            &["xi", "groups", "t@80%", "t@85%", "t@90%"],
+        );
+        let mut csv = String::from("xi,groups,t80,t85,t90\n");
+        for ((xi, num_groups), cell) in xis.iter().zip(&groups).zip(&sweep) {
+            let times: Vec<Option<f64>> = targets
+                .iter()
+                .map(|&t| cell.first().time_to_accuracy(t))
+                .collect();
+            table.add_row(vec![
+                format!("{xi:.1}"),
+                format!("{num_groups}"),
+                fmt_opt_secs(times[0]),
+                fmt_opt_secs(times[1]),
+                fmt_opt_secs(times[2]),
+            ]);
+            csv.push_str(&format!(
+                "{xi:.1},{num_groups},{},{},{}\n",
+                times[0].map(|t| format!("{t:.1}")).unwrap_or_default(),
+                times[1].map(|t| format!("{t:.1}")).unwrap_or_default(),
+                times[2].map(|t| format!("{t:.1}")).unwrap_or_default(),
+            ));
+        }
+        println!("{}", table.render());
+        try_write_csv("fig8_xi_sweep.csv", &csv);
+    } else {
+        println!(
+            "  replicated over {} seeds ({}..{}); cells are mean±std [reached/total]\n",
+            seeds.len(),
+            seeds[0],
+            seeds[seeds.len() - 1]
+        );
+        let mut table = Table::new(
+            "Training time (s) to reach target accuracy vs xi",
+            &["xi", "groups", "t@80%", "t@85%", "t@90%"],
+        );
+        let mut csv = String::from(
+            "xi,groups,t80_mean,t80_std,t80_n,t85_mean,t85_std,t85_n,t90_mean,t90_std,t90_n\n",
+        );
+        for ((xi, num_groups), cell) in xis.iter().zip(&groups).zip(&sweep) {
+            let stats: Vec<_> = targets
+                .iter()
+                .map(|&t| cell.time_to_accuracy_stats(t))
+                .collect();
+            table.add_row(vec![
+                format!("{xi:.1}"),
+                format!("{num_groups}"),
+                stats[0].fmt_with_count(0, seeds.len()),
+                stats[1].fmt_with_count(0, seeds.len()),
+                stats[2].fmt_with_count(0, seeds.len()),
+            ]);
+            csv.push_str(&format!("{xi:.1},{num_groups}"));
+            for s in &stats {
+                csv.push(',');
+                csv.push_str(&s.csv_fields(1));
+            }
+            csv.push('\n');
+        }
+        println!("{}", table.render());
+        try_write_csv("fig8_xi_sweep.csv", &csv);
     }
-    println!("{}", table.render());
-    try_write_csv("fig8_xi_sweep.csv", &csv);
 }

@@ -6,15 +6,20 @@
 //! aggregations per worker), Air-FedGA slightly more (asynchronous groups
 //! aggregate more often), Dynamic the most (its data-agnostic worker
 //! selection needs more rounds to converge).
+//!
+//! `--seeds N` replicates every mechanism over N run seeds; the
+//! energy-to-accuracy tables then report mean±std [reached/total] per cell.
+//! The default (1) is byte-identical to the historical single-seed output.
 
 use airfedga::system::FlSystemConfig;
 use experiments::figures::run_time_accuracy_figure;
 use experiments::harness::MechanismChoice;
 use experiments::report::Table;
-use experiments::scale::Scale;
+use experiments::scale::{seeds_flag, Scale};
 
 fn main() {
     let scale = Scale::from_env();
+    let num_seeds = seeds_flag();
     let workloads = [
         (
             "CNN on MNIST-like",
@@ -35,22 +40,28 @@ fn main() {
             &targets,
             &format!("fig9_{}", label.to_lowercase().replace([' ', '-'], "_")),
             scale,
+            num_seeds,
         );
         let mut table = Table::new(
             &format!("Aggregation energy (J) to reach target accuracy — {label}"),
             &["mechanism", "E@t1", "E@t2", "E@t3"],
         );
-        for s in &outcome.summaries {
+        for c in &outcome.cells {
             let cells: Vec<String> = targets
                 .iter()
                 .map(|&t| {
-                    s.energy_to_accuracy(t)
-                        .map(|e| format!("{e:.0}"))
-                        .unwrap_or_else(|| "n/a".to_string())
+                    if num_seeds == 1 {
+                        c.first()
+                            .energy_to_accuracy(t)
+                            .map(|e| format!("{e:.0}"))
+                            .unwrap_or_else(|| "n/a".to_string())
+                    } else {
+                        c.energy_to_accuracy_stats(t).fmt_with_count(0, num_seeds)
+                    }
                 })
                 .collect();
             table.add_row(vec![
-                s.mechanism.clone(),
+                c.mechanism.clone(),
                 cells[0].clone(),
                 cells[1].clone(),
                 cells[2].clone(),

@@ -1,29 +1,50 @@
 //! Shared driver for the loss/accuracy-vs-time figures (Figs. 3–6) and the
 //! energy figure (Fig. 9): run the AirComp mechanisms on one system, print
 //! the paper-style summary rows and dump one CSV per mechanism.
+//!
+//! With `num_seeds > 1` the driver replicates every mechanism over the seed
+//! stream `4242, 4243, …` (see `stats::replication_seeds`), prints
+//! mean±std summary rows and writes per-mechanism error-bar CSVs next to the
+//! canonical first-seed traces. `num_seeds == 1` is byte-identical to the
+//! historical single-seed driver.
 
-use crate::harness::{compare_mechanisms, MechanismChoice, RunSummary};
-use crate::report::{fmt_opt_secs, fmt_secs, try_write_csv, Table};
+use crate::harness::{compare_on_system_replicated, MechanismChoice, RunSummary};
+use crate::report::{error_bar_csv, fmt_opt_secs, fmt_secs, try_write_csv, Table};
 use crate::scale::Scale;
+use crate::stats::{replication_seeds, CellStats};
 use airfedga::system::FlSystemConfig;
+use fedml::rng::Rng64;
 
 /// Outcome of a figure run, returned so integration tests can assert on the
 /// reproduced *shape* (who wins, roughly by how much).
 #[derive(Debug, Clone)]
 pub struct FigureOutcome {
-    /// One summary per mechanism, in the order they were requested.
-    pub summaries: Vec<RunSummary>,
+    /// Full replication statistics per mechanism, in the order they were
+    /// requested (a one-seed fold when the figure ran without `--seeds`).
+    pub cells: Vec<CellStats>,
 }
 
 impl FigureOutcome {
-    /// The summary for a given mechanism label.
+    /// The canonical (first-seed) summaries, one per mechanism, in request
+    /// order — borrowed from [`Self::cells`] rather than stored twice.
+    pub fn summaries(&self) -> impl Iterator<Item = &RunSummary> {
+        self.cells.iter().map(|c| c.first())
+    }
+
+    /// The canonical summary for a given mechanism label.
     pub fn get(&self, label: &str) -> &RunSummary {
-        self.summaries
-            .iter()
+        self.summaries()
             .find(|s| s.mechanism == label)
             .unwrap_or_else(|| panic!("no summary for mechanism {label}"))
     }
 }
+
+/// The run-RNG seed every figure binary historically used; replicate `r`
+/// runs with `FIGURE_RUN_SEED + r`.
+pub const FIGURE_RUN_SEED: u64 = 4242;
+
+/// The system-construction seed shared by the figure binaries.
+pub const FIGURE_SYSTEM_SEED: u64 = 42;
 
 /// Run one loss/accuracy-vs-time comparison (the shape of Figs. 3–6).
 ///
@@ -32,6 +53,9 @@ impl FigureOutcome {
 /// * `accuracy_targets` — the accuracies whose time-to-reach is reported
 ///   (e.g. the paper quotes time to a stable 80 % for Fig. 3).
 /// * `csv_prefix` — base name for the per-mechanism CSV traces.
+/// * `num_seeds` — replication count (the binaries pass the `--seeds N`
+///   flag); `1` reproduces the historical single-seed output byte for byte,
+///   `> 1` adds mean±std rows and `*_errorbars.csv` files.
 pub fn run_time_accuracy_figure(
     title: &str,
     workload: FlSystemConfig,
@@ -39,6 +63,7 @@ pub fn run_time_accuracy_figure(
     accuracy_targets: &[f64],
     csv_prefix: &str,
     scale: Scale,
+    num_seeds: usize,
 ) -> FigureOutcome {
     let cfg = scale.apply(workload);
     println!(
@@ -47,16 +72,16 @@ pub fn run_time_accuracy_figure(
         cfg.num_workers,
         scale.total_rounds()
     );
-    let summaries = compare_mechanisms(
-        &cfg,
+    let seeds = replication_seeds(FIGURE_RUN_SEED, num_seeds.max(1));
+    let system = cfg.build(&mut Rng64::seed_from(FIGURE_SYSTEM_SEED));
+    let cells = compare_on_system_replicated(
+        &system,
         mechanisms,
         scale.total_rounds(),
         scale.eval_every(),
         None,
-        42,
-        4242,
+        &seeds,
     );
-
     let mut header = vec![
         "mechanism".to_string(),
         "final acc".to_string(),
@@ -70,38 +95,84 @@ pub fn run_time_accuracy_figure(
     }
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(title, &header_refs);
-    for s in &summaries {
-        let mut row = vec![
-            s.mechanism.clone(),
-            format!("{:.3}", s.final_accuracy),
-            format!("{:.3}", s.final_loss),
-            fmt_secs(s.average_round_time),
-            fmt_secs(s.total_time),
-            format!("{:.0}", s.total_energy),
-        ];
-        for t in accuracy_targets {
-            row.push(fmt_opt_secs(s.time_to_accuracy(*t)));
+    if seeds.len() == 1 {
+        for s in cells.iter().map(|c| c.first()) {
+            let mut row = vec![
+                s.mechanism.clone(),
+                format!("{:.3}", s.final_accuracy),
+                format!("{:.3}", s.final_loss),
+                fmt_secs(s.average_round_time),
+                fmt_secs(s.total_time),
+                format!("{:.0}", s.total_energy),
+            ];
+            for t in accuracy_targets {
+                row.push(fmt_opt_secs(s.time_to_accuracy(*t)));
+            }
+            table.add_row(row);
         }
-        table.add_row(row);
+    } else {
+        println!(
+            "  replicated over {} seeds ({}..{}); cells are mean±std",
+            seeds.len(),
+            seeds[0],
+            seeds[seeds.len() - 1]
+        );
+        for c in &cells {
+            let acc = c.final_accuracy_stats();
+            let loss = c.final_loss_stats();
+            let round = c.average_round_time_stats();
+            // The last eval point may cover only the seeds whose traces ran
+            // that long (a seed can hit `max_virtual_time` earlier); make the
+            // partial coverage visible instead of presenting a subset mean as
+            // if it spanned every replicate.
+            let last = c.points.last().expect("replicated trace is non-empty");
+            let fmt_last = |s: &crate::stats::SummaryStats, precision: usize| {
+                if s.n == seeds.len() as u64 {
+                    s.fmt_mean_std(precision)
+                } else {
+                    s.fmt_with_count(precision, seeds.len())
+                }
+            };
+            let mut row = vec![
+                c.mechanism.clone(),
+                acc.fmt_mean_std(3),
+                loss.fmt_mean_std(3),
+                round.fmt_mean_std(1),
+                fmt_last(&last.time, 0),
+                fmt_last(&last.energy, 0),
+            ];
+            for t in accuracy_targets {
+                row.push(c.time_to_accuracy_stats(*t).fmt_with_count(0, seeds.len()));
+            }
+            table.add_row(row);
+        }
     }
     println!("{}", table.render());
 
-    for s in &summaries {
-        let name = format!(
-            "{csv_prefix}_{}.csv",
-            s.mechanism.to_lowercase().replace(['-', ' '], "_")
+    for c in &cells {
+        let stem = c.mechanism.to_lowercase().replace(['-', ' '], "_");
+        // The canonical first-seed trace keeps its historical name (and
+        // bytes), so existing plotting scripts keep working at any seed
+        // count; replicated runs add the error-bar series next to it.
+        try_write_csv(
+            &format!("{csv_prefix}_{stem}.csv"),
+            &c.first().trace.to_csv(),
         );
-        try_write_csv(&name, &s.trace.to_csv());
+        if seeds.len() > 1 {
+            try_write_csv(
+                &format!("{csv_prefix}_{stem}_errorbars.csv"),
+                &error_bar_csv(&c.points),
+            );
+        }
     }
-    FigureOutcome { summaries }
+    FigureOutcome { cells }
 }
 
 /// Print the paper's headline speed-up claim for a figure: how much faster
 /// Air-FedGA reaches `target` accuracy than each other mechanism.
 pub fn print_speedups(outcome: &FigureOutcome, target: f64) {
     let Some(ga) = outcome
-        .summaries
-        .iter()
+        .summaries()
         .find(|s| s.mechanism == "Air-FedGA")
         .and_then(|s| s.time_to_accuracy(target))
     else {
@@ -111,7 +182,7 @@ pub fn print_speedups(outcome: &FigureOutcome, target: f64) {
         );
         return;
     };
-    for s in &outcome.summaries {
+    for s in outcome.summaries() {
         if s.mechanism == "Air-FedGA" {
             continue;
         }
@@ -147,9 +218,45 @@ mod tests {
             &[0.5],
             "test_fig",
             Scale::Quick,
+            1,
         );
-        assert_eq!(outcome.summaries.len(), 2);
+        assert_eq!(outcome.summaries().count(), 2);
+        assert_eq!(outcome.cells.len(), 2);
         assert_eq!(outcome.get("Air-FedGA").mechanism, "Air-FedGA");
         print_speedups(&outcome, 0.5);
+    }
+
+    #[test]
+    fn replicated_figure_keeps_the_first_seed_canonical() {
+        let single = run_time_accuracy_figure(
+            "single",
+            FlSystemConfig::mnist_lr_quick(),
+            &[MechanismChoice::AirFedGa],
+            &[0.5],
+            "test_fig_s1",
+            Scale::Quick,
+            1,
+        );
+        let triple = run_time_accuracy_figure(
+            "triple",
+            FlSystemConfig::mnist_lr_quick(),
+            &[MechanismChoice::AirFedGa],
+            &[0.5],
+            "test_fig_s3",
+            Scale::Quick,
+            3,
+        );
+        // Replicate 0 of the multi-seed run IS the single-seed run.
+        let a = &single.cells[0].first().trace;
+        let b = &triple.cells[0].first().trace;
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.points().iter().zip(b.points()) {
+            assert_eq!(pa.loss.to_bits(), pb.loss.to_bits());
+            assert_eq!(pa.time.to_bits(), pb.time.to_bits());
+        }
+        // Error-bar statistics cover all three replicates.
+        let cell = &triple.cells[0];
+        assert_eq!(cell.seeds, vec![4242, 4243, 4244]);
+        assert!(cell.points.iter().all(|p| p.loss.n == 3));
     }
 }

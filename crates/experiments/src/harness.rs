@@ -10,7 +10,26 @@
 //! the persistent worker pool while each cell's training rounds keep using
 //! the pool's inner per-member fan-out (nested fork/join is deadlock-free;
 //! see the `parallel` crate docs).
+//!
+//! ## Multi-seed replication
+//!
+//! [`run_replicated`] layers seed replication on top of [`run_grid`]: it fans
+//! the full (cell × seed) product across the pool — exactly the regime where
+//! the pool's over-decomposed scheduling pays off, since different seeds of
+//! the same cell can finish at very different times — and folds each cell's
+//! per-seed [`RunSummary`] traces into per-eval-point mean/std/min/max
+//! ([`crate::stats::CellStats`], built on the streaming Welford accumulator).
+//!
+//! **Seed-stream contract** (see [`crate::stats::replication_seeds`]):
+//! replicate `r` of a cell runs with seed `seeds[r]`, and the figure binaries
+//! use `base + r` with the historical single-seed value as `base` — so
+//! `--seeds 1` is the historical run itself (byte-identical output), and
+//! raising `N` appends replicates without renumbering existing ones. Cells
+//! and seeds obey the same determinism rules as [`run_grid`] (cell-local RNG
+//! streams, no I/O), so replicated grids are bit-identical to the sequential
+//! double loop at any `PARALLEL_THREADS` / `PARALLEL_CHUNKS` setting.
 
+use crate::stats::CellStats;
 use airfedga::mechanism::{AirFedGa, AirFedGaConfig};
 use airfedga::system::{FlMechanism, FlSystem, FlSystemConfig};
 use baselines::{AirFedAvg, BaselineOptions, Dynamic, DynamicConfig, FedAvg, TiFl};
@@ -192,6 +211,57 @@ where
     cells.into_par_iter().map(run_cell).collect()
 }
 
+/// Fan the full (cell × seed) replication product across the persistent
+/// worker pool and fold each cell's replicates into [`CellStats`].
+///
+/// `run_cell(&cell, seed)` runs one replicate; it must follow the same
+/// determinism contract as [`run_grid`] (all randomness derived from the
+/// cell's own data and the given seed, no I/O). Replicates are fanned in
+/// cell-major order — `(cell 0, seeds[0]), (cell 0, seeds[1]), …` — as one
+/// flat grid, so a slow (cell, seed) pair never serializes the others; the
+/// over-decomposed pool schedule keeps threads busy across the uneven tails.
+///
+/// With a single seed this is [`run_grid`] plus a per-cell fold whose
+/// statistics degenerate to that seed's values (`CellStats::first()` is the
+/// run itself) — which is how the `--seeds 1` experiment paths stay
+/// byte-identical to their historical single-seed output.
+pub fn run_replicated<T, F>(cells: Vec<T>, seeds: &[u64], run_cell: F) -> Vec<CellStats>
+where
+    T: Sync + Send,
+    F: Fn(&T, u64) -> RunSummary + Sync,
+{
+    assert!(!seeds.is_empty(), "replication needs at least one seed");
+    let pairs: Vec<(usize, u64)> = (0..cells.len())
+        .flat_map(|ci| seeds.iter().map(move |&s| (ci, s)))
+        .collect();
+    let cells_ref = &cells;
+    let flat: Vec<RunSummary> = run_grid(pairs, |(ci, seed)| run_cell(&cells_ref[ci], seed));
+    let mut flat = flat.into_iter();
+    (0..cells.len())
+        .map(|_| {
+            let per_seed: Vec<RunSummary> = flat.by_ref().take(seeds.len()).collect();
+            CellStats::from_summaries(seeds.to_vec(), per_seed)
+        })
+        .collect()
+}
+
+/// Replicated variant of [`compare_on_system`]: one replicated cell per
+/// mechanism, replicate `r` of every mechanism using `run_seeds[r]`.
+pub fn compare_on_system_replicated(
+    system: &FlSystem,
+    mechanisms: &[MechanismChoice],
+    total_rounds: usize,
+    eval_every: usize,
+    max_virtual_time: Option<f64>,
+    run_seeds: &[u64],
+) -> Vec<CellStats> {
+    run_replicated(mechanisms.to_vec(), run_seeds, |&choice, run_seed| {
+        let mech = choice.build(total_rounds, eval_every, max_virtual_time);
+        let trace = mech.run(system, &mut Rng64::seed_from(run_seed));
+        RunSummary::from_trace(trace)
+    })
+}
+
 /// Run the chosen mechanisms on an already-built system: one [`run_grid`]
 /// cell per mechanism, every cell re-seeding its own run RNG from `run_seed`
 /// (the per-cell RNG stream that keeps the grid's output identical to a
@@ -285,6 +355,83 @@ mod tests {
         let grid = run_grid(vec![1, 2, 3], run_cell);
         let seq: Vec<_> = vec![1, 2, 3].into_iter().map(run_cell).collect();
         assert_eq!(grid, seq);
+    }
+
+    #[test]
+    fn run_replicated_single_seed_is_the_plain_run() {
+        let system = FlSystemConfig::mnist_lr_quick().build(&mut Rng64::seed_from(5));
+        let cells = compare_on_system_replicated(
+            &system,
+            &[MechanismChoice::AirFedAvg, MechanismChoice::AirFedGa],
+            8,
+            2,
+            None,
+            &[4242],
+        );
+        let plain = compare_on_system(
+            &system,
+            &[MechanismChoice::AirFedAvg, MechanismChoice::AirFedGa],
+            8,
+            2,
+            None,
+            4242,
+        );
+        assert_eq!(cells.len(), plain.len());
+        for (c, p) in cells.iter().zip(plain.iter()) {
+            assert_eq!(c.mechanism, p.mechanism);
+            assert_eq!(c.seeds, vec![4242]);
+            assert_eq!(c.per_seed.len(), 1);
+            // The single replicate IS the plain run, bit for bit…
+            for (a, b) in c.first().trace.points().iter().zip(p.trace.points()) {
+                assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+                assert_eq!(a.time.to_bits(), b.time.to_bits());
+            }
+            // …and the folded statistics degenerate to it (std 0, mean = x).
+            for (ps, tp) in c.points.iter().zip(p.trace.points()) {
+                assert_eq!(ps.loss.mean.to_bits(), tp.loss.to_bits());
+                assert_eq!(ps.loss.std, 0.0);
+                assert_eq!(ps.loss.n, 1);
+                assert_eq!(ps.round, tp.round);
+            }
+        }
+    }
+
+    #[test]
+    fn run_replicated_matches_the_sequential_double_loop() {
+        let system = FlSystemConfig::mnist_lr_quick().build(&mut Rng64::seed_from(5));
+        let seeds = [4242u64, 4243, 4244];
+        let run_one = |choice: MechanismChoice, seed: u64| {
+            let mech = choice.build(6, 2, None);
+            RunSummary::from_trace(mech.run(&system, &mut Rng64::seed_from(seed)))
+        };
+        let mechanisms = [MechanismChoice::AirFedAvg, MechanismChoice::AirFedGa];
+        let cells = run_replicated(mechanisms.to_vec(), &seeds, |&m, s| run_one(m, s));
+        assert_eq!(cells.len(), 2);
+        for (ci, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.seeds, seeds);
+            assert_eq!(cell.per_seed.len(), 3);
+            for (ri, s) in seeds.iter().enumerate() {
+                let reference = run_one(mechanisms[ci], *s);
+                for (a, b) in cell.per_seed[ri]
+                    .trace
+                    .points()
+                    .iter()
+                    .zip(reference.trace.points())
+                {
+                    assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+                    assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+                    assert_eq!(a.time.to_bits(), b.time.to_bits());
+                    assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+                }
+            }
+            // Folded stats cover all three seeds at every shared point.
+            assert!(cell.points.iter().all(|p| p.loss.n == 3));
+            // Different seeds genuinely vary: some point has nonzero spread.
+            assert!(
+                cell.points.iter().any(|p| p.loss.std > 0.0),
+                "replicates are identical — seed stream not reaching the run"
+            );
+        }
     }
 
     #[test]

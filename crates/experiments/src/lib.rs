@@ -7,9 +7,12 @@
 //!
 //! * [`harness`] — building systems, running a set of mechanisms on the same
 //!   system, and collecting time/energy-to-accuracy summaries.
-//! * [`report`] — plain-text table rendering and CSV output.
+//! * [`report`] — plain-text table rendering and CSV output (including the
+//!   error-bar CSVs of replicated runs).
 //! * [`scale`] — the `AIRFEDGA_SCALE` switch (`full` / `quick`) so the same
 //!   binaries can be exercised in CI seconds or run at paper scale.
+//! * [`stats`] — Welford replication statistics behind the `--seeds N`
+//!   multi-seed error-bar flag of `fig3` / `fig8` / `fig10`.
 //!
 //! | Binary | Reproduces |
 //! |--------|------------|
@@ -32,7 +35,9 @@ pub mod figures;
 pub mod harness;
 pub mod report;
 pub mod scale;
+pub mod stats;
 
-pub use harness::{compare_mechanisms, MechanismChoice, RunSummary};
+pub use harness::{compare_mechanisms, run_replicated, MechanismChoice, RunSummary};
 pub use report::{write_csv, Table};
 pub use scale::Scale;
+pub use stats::{replication_seeds, CellStats, SummaryStats, Welford};

@@ -2,8 +2,12 @@
 //!
 //! The experiment binaries print paper-style tables to stdout and optionally
 //! dump CSV files (one per figure series) under `results/` so the curves can
-//! be re-plotted with any external tool.
+//! be re-plotted with any external tool. Replicated (`--seeds N`) runs
+//! additionally emit **error-bar CSVs** ([`error_bar_csv`]): one row per
+//! evaluation point with `*_mean` / `*_std` / `*_min` / `*_max` columns over
+//! the seeds, ready for shaded-band or error-bar plotting.
 
+use crate::stats::PointStats;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -110,6 +114,47 @@ pub fn try_write_csv(name: &str, contents: &str) {
     }
 }
 
+/// Render per-eval-point replication statistics as an error-bar CSV.
+///
+/// One row per evaluation point, with the seed count and mean / sample-std /
+/// min / max of every traced quantity — the multi-seed analogue of
+/// `TrainingTrace::to_csv` (same precision per quantity, so a one-seed
+/// error-bar file carries exactly the single trace's values in its `_mean`
+/// columns).
+pub fn error_bar_csv(points: &[PointStats]) -> String {
+    let mut out = String::from(
+        "round,seeds,time_mean,time_std,time_min,time_max,\
+         loss_mean,loss_std,loss_min,loss_max,\
+         accuracy_mean,accuracy_std,accuracy_min,accuracy_max,\
+         energy_mean,energy_std,energy_min,energy_max\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{:.4},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{:.6},\
+             {:.6},{:.6},{:.6},{:.6},{:.4},{:.4},{:.4},{:.4}\n",
+            p.round,
+            p.time.n,
+            p.time.mean,
+            p.time.std,
+            p.time.min,
+            p.time.max,
+            p.loss.mean,
+            p.loss.std,
+            p.loss.min,
+            p.loss.max,
+            p.accuracy.mean,
+            p.accuracy.std,
+            p.accuracy.min,
+            p.accuracy.max,
+            p.energy.mean,
+            p.energy.std,
+            p.energy.min,
+            p.energy.max,
+        ));
+    }
+    out
+}
+
 /// Format seconds with a sensible precision for report tables.
 pub fn fmt_secs(s: f64) -> String {
     if s.is_infinite() {
@@ -162,6 +207,38 @@ mod tests {
     fn long_rows_are_rejected() {
         let mut t = Table::new("x", &["a"]);
         t.add_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn error_bar_csv_has_all_stat_columns() {
+        use crate::stats::Welford;
+        let mut time = Welford::new();
+        let mut loss = Welford::new();
+        let mut acc = Welford::new();
+        let mut energy = Welford::new();
+        for (t, l, a, e) in [(1.0, 2.0, 0.5, 10.0), (1.5, 1.8, 0.6, 12.0)] {
+            time.push(t);
+            loss.push(l);
+            acc.push(a);
+            energy.push(e);
+        }
+        let points = vec![PointStats {
+            round: 5,
+            time: time.summary(),
+            loss: loss.summary(),
+            accuracy: acc.summary(),
+            energy: energy.summary(),
+        }];
+        let csv = error_bar_csv(&points);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 18);
+        assert!(header.starts_with("round,seeds,time_mean"));
+        assert!(header.contains("loss_mean,loss_std,loss_min,loss_max"));
+        let row = lines.next().unwrap();
+        assert_eq!(row.split(',').count(), 18);
+        assert!(row.starts_with("5,2,1.2500,"));
+        assert!(lines.next().is_none());
     }
 
     #[test]

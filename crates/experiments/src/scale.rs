@@ -1,13 +1,40 @@
-//! Experiment scale selection.
+//! Experiment scale selection and run-size flags.
 //!
 //! The paper's experiments use 100 workers and thousands of seconds of
 //! virtual training. Re-running everything at that scale takes minutes per
 //! figure on a laptop; CI and the Criterion benches need seconds. The
 //! `AIRFEDGA_SCALE` environment variable switches between the two without
 //! touching the experiment code: `full` (default for the binaries) or
-//! `quick`.
+//! `quick`. The `--seeds N` command-line flag ([`seeds_flag`]) selects how
+//! many replication seeds the multi-seed figure binaries run.
 
 use airfedga::system::FlSystemConfig;
+
+/// Parse the `--seeds N` replication flag from the process arguments
+/// (`--seeds 3` or `--seeds=3`). Returns 1 when absent — the single-seed
+/// default whose output is byte-identical to the pre-replication binaries.
+/// Panics on a malformed value (silent fallback would mask a typo'd
+/// replication request); 0 is clamped to 1.
+pub fn seeds_flag() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let value = if a == "--seeds" {
+            Some(
+                args.next()
+                    .expect("--seeds requires a value (e.g. --seeds 3)"),
+            )
+        } else {
+            a.strip_prefix("--seeds=").map(str::to_string)
+        };
+        if let Some(v) = value {
+            let n: usize = v
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid --seeds value: {v:?}"));
+            return n.max(1);
+        }
+    }
+    1
+}
 
 /// How big an experiment to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

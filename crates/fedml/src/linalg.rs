@@ -42,6 +42,13 @@
 //!
 //! Note: **thin LTO defeats the SLP vectorisation** of these kernels
 //! (~4× slower local step); the workspace profile pins `lto = false`.
+//! Relatedly, on Skylake-X-class AVX-512 hosts LLVM's tuning prefers
+//! 256-bit vectors and halves the kernels' FMA width; the opt-in
+//! wide-vector perf profile in `.cargo/config.toml` (an unstable LLVM
+//! feature flag, hence not in the default warning-free rustflags) restores
+//! full 512-bit ops — worth ~1.2–1.5× on the GEMM entries and required for
+//! the batched-local-step ≥5× bench floor. Results are bit-identical under
+//! either profile.
 //!
 //! All kernels write into caller-provided output slices so the training loop
 //! can run with **zero steady-state heap allocations** (see

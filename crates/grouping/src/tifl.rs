@@ -16,11 +16,14 @@ pub fn tifl_grouping(workers: &[WorkerInfo], num_tiers: usize) -> Grouping {
     assert!(num_tiers > 0, "need at least one tier");
     let tiers = num_tiers.min(workers.len());
     let mut order: Vec<usize> = (0..workers.len()).collect();
+    // `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN latency (e.g. an
+    // uninitialised or failed timing probe) must not panic the grouping.
+    // NaN compares greater than every finite latency under the IEEE total
+    // order, so such workers deterministically land in the slowest tier.
     order.sort_by(|&a, &b| {
         workers[a]
             .local_training_time
-            .partial_cmp(&workers[b].local_training_time)
-            .expect("latencies are finite")
+            .total_cmp(&workers[b].local_training_time)
             .then(a.cmp(&b))
     });
     // Deal contiguous latency blocks into tiers; remainders go to the first
@@ -124,6 +127,24 @@ mod tests {
         let tifl = tifl_grouping(&ws, 7);
         let emd = average_group_emd(&tifl, &ws);
         assert!(emd > 0.05 && emd < 1.8, "TiFL EMD {emd}");
+    }
+
+    #[test]
+    fn nan_latency_does_not_panic_and_lands_in_the_slowest_tier() {
+        // Regression: the sort used partial_cmp(..).unwrap(), which panicked
+        // as soon as one worker reported a NaN training time.
+        let mut ws = workers(12);
+        ws[3].local_training_time = f64::NAN;
+        let g = tifl_grouping(&ws, 3);
+        assert_eq!(g.num_groups(), 3);
+        let sizes: Vec<usize> = g.groups().iter().map(|x| x.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 12);
+        // NaN is the maximum of the IEEE total order, so worker 3 sits in the
+        // last (slowest) tier; everyone is placed exactly once.
+        assert!(g.group(2).contains(&3), "NaN worker not in slowest tier");
+        let mut all: Vec<usize> = g.groups().iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
     }
 
     #[test]

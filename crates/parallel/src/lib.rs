@@ -34,6 +34,21 @@
 //! independent experiment cells over the pool while each cell's training
 //! rounds keep issuing inner per-member fan-outs.
 //!
+//! ## Over-decomposed chunking
+//!
+//! A parallel map does **not** split its input into one contiguous chunk per
+//! thread: it publishes up to `PARALLEL_CHUNKS × threads` fixed-boundary
+//! contiguous chunks (default factor 4, capped by the item count). With one
+//! chunk per thread, a single expensive item — a heterogeneous mechanism in
+//! an experiment grid, a seed that runs long before hitting
+//! `max_virtual_time` — serializes the whole fan-out on the thread that drew
+//! it while the others sit idle at the tail. Over-decomposition lets the
+//! work-claiming scheduler rebalance: threads that finish their cheap chunks
+//! claim the remaining ones, so the tail shrinks from "slowest chunk" towards
+//! "slowest single item". The factor trades tail latency against per-chunk
+//! queue overhead; 4 keeps the hot 2–4-item engine fan-outs at one item per
+//! chunk while giving large experiment grids room to balance.
+//!
 //! ## Determinism
 //!
 //! Two properties keep parallel runs **bit-identical** to sequential runs:
@@ -43,7 +58,10 @@
 //!   input order. Which thread executes a chunk (or in what order) cannot
 //!   affect the result, so a work-claiming scheduler is safe to use — the
 //!   *assignment* of items to chunks is deterministic, the *scheduling* of
-//!   chunks is free.
+//!   chunks is free. For the same reason the *number* of chunks is free too:
+//!   any `PARALLEL_CHUNKS` × `PARALLEL_THREADS` combination produces the
+//!   same concatenation, which the CI determinism job cross-checks by
+//!   diffing experiment outputs across both knobs.
 //! * **No shared mutable state**: the `map` closure receives each item by
 //!   value / shared reference; any per-item RNG or scratch state must travel
 //!   inside the item itself, which is exactly how the training engine hands
@@ -53,8 +71,9 @@
 //! pinned with the `PARALLEL_THREADS` environment variable, read once at
 //! first use (``1`` forces fully sequential, in-line execution — no worker
 //! threads are ever spawned — useful for profiling; by construction the
-//! results are identical either way, which the CI determinism job checks by
-//! diffing experiment outputs across thread counts).
+//! results are identical either way). The over-decomposition factor is
+//! pinned the same way with `PARALLEL_CHUNKS` (``1`` restores
+//! one-chunk-per-thread).
 //!
 //! A panic inside a chunk is captured, the remaining chunks still run (so the
 //! fork/join protocol stays balanced), and the first panic payload is
@@ -83,6 +102,23 @@ pub fn max_threads() -> usize {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    })
+}
+
+/// Over-decomposition factor: a parallel map targets `chunk_factor() ×`
+/// [`max_threads`] chunks (capped by the item count). Defaults to 4; pinned
+/// with the `PARALLEL_CHUNKS` environment variable, read once at first use
+/// (`1` restores the old one-contiguous-chunk-per-thread split). The factor
+/// never affects results — only how finely the scheduler can load-balance.
+pub fn chunk_factor() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Ok(v) = std::env::var("PARALLEL_CHUNKS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        4
     })
 }
 
@@ -405,11 +441,16 @@ pub struct ParMap<'a, T, F> {
     f: F,
 }
 
-/// Contiguous chunk length for `n` items: the same division the spawn-based
-/// implementation used, so chunk boundaries (and therefore every per-chunk
-/// artifact) are unchanged across the pool rewrite.
+/// Contiguous chunk length for `n` items under over-decomposition: the map
+/// targets [`chunk_factor`]` × `[`max_threads`] chunks, capped by the item
+/// count, so uneven per-item costs can be rebalanced by the work-claiming
+/// scheduler instead of serializing the fan-out on the slowest thread.
+/// Boundaries are a pure function of `(n, threads, factor)` — and the output
+/// concatenation is chunking-independent, so any setting of either knob is
+/// bit-identical to sequential execution.
 fn chunk_len(n: usize) -> usize {
-    n.div_ceil(max_threads().min(n.max(1)))
+    let target = (max_threads() * chunk_factor()).min(n.max(1));
+    n.div_ceil(target)
 }
 
 impl<'a, T: Sync, F> ParMap<'a, T, F> {

@@ -1,0 +1,10 @@
+//! Over-decomposition factor 1 (one contiguous chunk per thread — the
+//! pre-over-decomposition split) must be bit-identical to sequential.
+
+#[path = "chunk_common/mod.rs"]
+mod chunk_common;
+
+#[test]
+fn factor_1_is_bit_identical_to_sequential() {
+    chunk_common::run_suite(1);
+}

@@ -1,0 +1,10 @@
+//! Over-decomposition factor 16 (finer than any engine fan-out needs — every
+//! item gets its own chunk) must be bit-identical to sequential.
+
+#[path = "chunk_common/mod.rs"]
+mod chunk_common;
+
+#[test]
+fn factor_16_is_bit_identical_to_sequential() {
+    chunk_common::run_suite(16);
+}

@@ -145,15 +145,47 @@ pub fn air_aggregate_into(
     group_estimate: &mut FlatParams,
     scratch: &mut AirAggregationScratch,
 ) -> AirAggregationStats {
-    assert!(
-        !inputs.is_empty(),
-        "over-the-air aggregation with no workers"
-    );
+    air_aggregate_indexed_into(
+        inputs.len(),
+        |k| inputs[k].clone(),
+        sigma,
+        eta,
+        noise_variance,
+        rng,
+        group_estimate,
+        scratch,
+    )
+}
+
+/// Gather variant of [`air_aggregate_into`]: the `count` contributions are
+/// produced on demand by `input(k)` instead of being read from a
+/// pre-collected slice.
+///
+/// This is what lets the engine loops drop their last steady-state heap
+/// allocation on the AirComp path — the per-round
+/// `Vec<AirAggregationInput>` that existed only to marry each member's
+/// `(data_size, gain)` pair to a borrow of its local model. The engines now
+/// pass `|k| AirAggregationInput { data_size: data_sizes[k], channel_gain:
+/// gains[k], params: pool.local(members[k]) }` straight from their
+/// round-persistent buffers. Bit-identical to the slice path: same
+/// accumulation order (`k = 0, 1, …`), same RNG draw order.
+#[allow(clippy::too_many_arguments)]
+pub fn air_aggregate_indexed_into<'p>(
+    count: usize,
+    input: impl Fn(usize) -> AirAggregationInput<'p>,
+    sigma: f64,
+    eta: f64,
+    noise_variance: f64,
+    rng: &mut Rng64,
+    group_estimate: &mut FlatParams,
+    scratch: &mut AirAggregationScratch,
+) -> AirAggregationStats {
+    assert!(count > 0, "over-the-air aggregation with no workers");
     assert!(sigma > 0.0, "sigma must be positive");
     assert!(eta > 0.0, "eta must be positive");
     assert!(noise_variance >= 0.0, "noise variance must be non-negative");
-    let dim = inputs[0].params.dim();
-    let group_data_size: f64 = inputs.iter().map(|c| c.data_size).sum();
+    let dim = input(0).params.dim();
+    let group_data_size: f64 = (0..count).map(|k| input(k).data_size).sum();
     assert!(group_data_size > 0.0, "group data size must be positive");
 
     // Received superposed signal y_t = sum_i d_i sigma w_i + z_t, accumulated
@@ -164,7 +196,8 @@ pub fn air_aggregate_into(
     scratch.ideal.0.resize(dim, 0.0);
     scratch.ideal.as_mut_slice().fill(0.0);
     scratch.per_worker_energy.clear();
-    for c in inputs {
+    for k in 0..count {
+        let c = input(k);
         assert_eq!(c.params.dim(), dim, "parameter dimension mismatch");
         assert!(c.data_size > 0.0, "worker data size must be positive");
         group_estimate.axpy(c.data_size * sigma, c.params);
@@ -384,6 +417,56 @@ mod tests {
         assert_eq!(estimate.dim(), 4);
         assert_eq!(scratch.ideal.dim(), 4);
         assert!(scratch.per_worker_energy.capacity() >= 2);
+    }
+
+    #[test]
+    fn indexed_gather_is_bit_identical_to_the_slice_and_allocating_paths() {
+        // The engines gather inputs on demand from separate (data_size, gain,
+        // params) buffers; that path must consume the same RNG stream and
+        // produce the same bits as both existing entry points.
+        let a = params(vec![0.7, -1.5, 2.25, 0.125]);
+        let b = params(vec![3.5, 4.0, -2.0, 1.75]);
+        let c = params(vec![-0.25, 0.5, 1.0, -1.125]);
+        let models = [&a, &b, &c];
+        let data_sizes = [10.0, 30.0, 25.0];
+        let gains = [0.8, 0.5, 1.2];
+        let inputs: Vec<AirAggregationInput<'_>> = (0..3)
+            .map(|k| AirAggregationInput {
+                data_size: data_sizes[k],
+                channel_gain: gains[k],
+                params: models[k],
+            })
+            .collect();
+        for round in 0..3u64 {
+            let mut rng_a = Rng64::seed_from(500 + round);
+            let mut rng_b = Rng64::seed_from(500 + round);
+            let res = air_aggregate(&inputs, 1.1, 1.9, 0.3, &mut rng_a);
+            let mut estimate = FlatParams::zeros(0);
+            let mut scratch = AirAggregationScratch::new();
+            let stats = air_aggregate_indexed_into(
+                3,
+                |k| AirAggregationInput {
+                    data_size: data_sizes[k],
+                    channel_gain: gains[k],
+                    params: models[k],
+                },
+                1.1,
+                1.9,
+                0.3,
+                &mut rng_b,
+                &mut estimate,
+                &mut scratch,
+            );
+            assert_eq!(stats.group_data_size, res.group_data_size);
+            assert_eq!(stats.error_norm_sq.to_bits(), res.error_norm_sq.to_bits());
+            for (x, y) in estimate.0.iter().zip(res.group_estimate.0.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in scratch.ideal.0.iter().zip(res.ideal_group_model.0.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(scratch.per_worker_energy, res.per_worker_energy);
+        }
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub mod power;
 pub mod timing;
 
 pub use aircomp::{
-    air_aggregate, air_aggregate_into, AirAggregationInput, AirAggregationResult,
-    AirAggregationScratch, AirAggregationStats,
+    air_aggregate, air_aggregate_indexed_into, air_aggregate_into, AirAggregationInput,
+    AirAggregationResult, AirAggregationScratch, AirAggregationStats,
 };
 pub use channel::ChannelModel;
 pub use power::{optimize_power, PowerControlConfig, PowerSolution};
