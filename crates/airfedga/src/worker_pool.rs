@@ -99,9 +99,14 @@ impl WorkerPool {
         let jobs: Vec<(usize, &mut WorkerSlot)> =
             self.sorted_members.iter().copied().zip(muts).collect();
         if parallel {
+            // A round's member updates are a uniform micro fan-out (similar
+            // shard sizes, identical model work), so one contiguous chunk per
+            // thread minimises queue overhead; the hint is scheduling-only
+            // and keeps the trace bit-identical (see the parallel crate).
             let _: Vec<()> = jobs
                 .into_par_iter()
                 .map(|(w, slot)| train_one(w, slot))
+                .with_chunk_hint(ChunkHint::Coarse)
                 .collect();
         } else {
             for (w, slot) in jobs {

@@ -2,9 +2,8 @@
 //! dataset (Dynamic vs Air-FedAvg vs Air-FedGA).
 
 use airfedga::system::FlSystemConfig;
-use experiments::figures::{print_speedups, run_time_accuracy_figure};
+use experiments::figures::{print_speedups, run_time_accuracy_figure, FigureParams};
 use experiments::harness::MechanismChoice;
-use experiments::scale::{seeds_flag, Scale};
 
 fn main() {
     let outcome = run_time_accuracy_figure(
@@ -13,8 +12,7 @@ fn main() {
         &MechanismChoice::aircomp_trio(),
         &[0.8, 0.85, 0.9],
         "fig4",
-        Scale::from_env(),
-        seeds_flag(),
+        &FigureParams::from_env(),
     );
     print_speedups(&outcome, 0.8);
 }

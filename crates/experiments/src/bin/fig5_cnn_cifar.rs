@@ -3,9 +3,8 @@
 //! Dynamic, Air-FedAvg and Air-FedGA.
 
 use airfedga::system::FlSystemConfig;
-use experiments::figures::{print_speedups, run_time_accuracy_figure};
+use experiments::figures::{print_speedups, run_time_accuracy_figure, FigureParams};
 use experiments::harness::MechanismChoice;
-use experiments::scale::{seeds_flag, Scale};
 
 fn main() {
     let outcome = run_time_accuracy_figure(
@@ -14,8 +13,7 @@ fn main() {
         &MechanismChoice::aircomp_trio(),
         &[0.45, 0.5, 0.55],
         "fig5",
-        Scale::from_env(),
-        seeds_flag(),
+        &FigureParams::from_env(),
     );
     print_speedups(&outcome, 0.5);
 }

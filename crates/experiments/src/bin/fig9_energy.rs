@@ -12,14 +12,13 @@
 //! The default (1) is byte-identical to the historical single-seed output.
 
 use airfedga::system::FlSystemConfig;
-use experiments::figures::run_time_accuracy_figure;
+use experiments::figures::{run_time_accuracy_figure, FigureParams};
 use experiments::harness::MechanismChoice;
 use experiments::report::Table;
-use experiments::scale::{seeds_flag, Scale};
 
 fn main() {
-    let scale = Scale::from_env();
-    let num_seeds = seeds_flag();
+    let params = FigureParams::from_env();
+    let num_seeds = params.num_seeds;
     let workloads = [
         (
             "CNN on MNIST-like",
@@ -39,8 +38,7 @@ fn main() {
             &MechanismChoice::aircomp_trio(),
             &targets,
             &format!("fig9_{}", label.to_lowercase().replace([' ', '-'], "_")),
-            scale,
-            num_seeds,
+            &params,
         );
         let mut table = Table::new(
             &format!("Aggregation energy (J) to reach target accuracy — {label}"),

@@ -4,16 +4,19 @@
 //!
 //! With `num_seeds > 1` the driver replicates every mechanism over the seed
 //! stream `4242, 4243, …` (see `stats::replication_seeds`), prints
-//! mean±std summary rows and writes per-mechanism error-bar CSVs next to the
-//! canonical first-seed traces. `num_seeds == 1` is byte-identical to the
-//! historical single-seed driver.
+//! mean±std summary rows and writes per-mechanism error-bar CSVs (plus a
+//! shaded-band gnuplot script) next to the canonical first-seed traces.
+//! `num_seeds == 1` is byte-identical to the historical single-seed driver.
+//! The [`FigureParams`] bundle also carries the `--system-seeds` axis
+//! (re-sample the system per replicate) and the run-shape overrides a
+//! scenario file may set (explicit worker count, round budget, cadence,
+//! virtual-time cap).
 
-use crate::harness::{compare_on_system_replicated, MechanismChoice, RunSummary};
-use crate::report::{error_bar_csv, fmt_opt_secs, fmt_secs, try_write_csv, Table};
-use crate::scale::Scale;
+use crate::harness::{compare_mechanisms_replicated, MechanismChoice, RunSummary, SeedPlan};
+use crate::report::{error_bar_csv, fmt_opt_secs, fmt_secs, gnuplot_script, try_write_csv, Table};
+use crate::scale::{seeds_flag, system_seeds_flag, Scale};
 use crate::stats::{replication_seeds, CellStats};
 use airfedga::system::FlSystemConfig;
-use fedml::rng::Rng64;
 
 /// Outcome of a figure run, returned so integration tests can assert on the
 /// reproduced *shape* (who wins, roughly by how much).
@@ -46,6 +49,95 @@ pub const FIGURE_RUN_SEED: u64 = 4242;
 /// The system-construction seed shared by the figure binaries.
 pub const FIGURE_SYSTEM_SEED: u64 = 42;
 
+/// Everything a figure driver needs beyond the workload itself: scale,
+/// replication, seeds and the run-shape overrides a scenario file may set.
+/// [`FigureParams::from_env`] reproduces the historical binary behaviour
+/// (scale from `AIRFEDGA_SCALE`, replication from `--seeds` /
+/// `--system-seeds`, everything else at the figure defaults), and the
+/// `Default` value is the historical single-seed full-scale run.
+#[derive(Debug, Clone)]
+pub struct FigureParams {
+    /// Experiment scale (worker counts, round budgets, shard sizes).
+    pub scale: Scale,
+    /// Replication count; 1 reproduces the historical single-seed output
+    /// byte for byte.
+    pub num_seeds: usize,
+    /// Re-sample the system per replicate (the `--system-seeds` axis).
+    pub vary_system: bool,
+    /// Base run seed (replicate `r` runs with `run_seed + r`).
+    pub run_seed: u64,
+    /// Base system-construction seed.
+    pub system_seed: u64,
+    /// Override the scaled worker count (a scenario file's explicit
+    /// `num_workers` wins over the scale preset).
+    pub num_workers: Option<usize>,
+    /// Override the scale's round budget.
+    pub total_rounds: Option<usize>,
+    /// Override the scale's evaluation cadence.
+    pub eval_every: Option<usize>,
+    /// Optional virtual-time budget (seconds).
+    pub max_virtual_time: Option<f64>,
+}
+
+impl Default for FigureParams {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Full,
+            num_seeds: 1,
+            vary_system: false,
+            run_seed: FIGURE_RUN_SEED,
+            system_seed: FIGURE_SYSTEM_SEED,
+            num_workers: None,
+            total_rounds: None,
+            eval_every: None,
+            max_virtual_time: None,
+        }
+    }
+}
+
+impl FigureParams {
+    /// The figure binaries' parameter source: scale from the environment,
+    /// replication from the `--seeds N` / `--system-seeds` flags.
+    pub fn from_env() -> Self {
+        Self {
+            scale: Scale::from_env(),
+            num_seeds: seeds_flag(),
+            vary_system: system_seeds_flag(),
+            ..Self::default()
+        }
+    }
+
+    /// The seed plan these parameters describe.
+    pub fn plan(&self) -> SeedPlan {
+        SeedPlan {
+            system_seed: self.system_seed,
+            run_seeds: replication_seeds(self.run_seed, self.num_seeds.max(1)),
+            vary_system: self.vary_system,
+        }
+    }
+
+    /// Effective round budget (explicit override or the scale default).
+    pub fn rounds(&self) -> usize {
+        self.total_rounds
+            .unwrap_or_else(|| self.scale.total_rounds())
+    }
+
+    /// Effective evaluation cadence.
+    pub fn eval(&self) -> usize {
+        self.eval_every.unwrap_or_else(|| self.scale.eval_every())
+    }
+
+    /// Scale a workload preset, then apply the explicit worker-count
+    /// override, if any.
+    pub fn apply(&self, workload: FlSystemConfig) -> FlSystemConfig {
+        let mut cfg = self.scale.apply(workload);
+        if let Some(n) = self.num_workers {
+            cfg.num_workers = n;
+        }
+        cfg
+    }
+}
+
 /// Run one loss/accuracy-vs-time comparison (the shape of Figs. 3–6).
 ///
 /// * `workload` — the system preset (model + dataset).
@@ -53,34 +145,35 @@ pub const FIGURE_SYSTEM_SEED: u64 = 42;
 /// * `accuracy_targets` — the accuracies whose time-to-reach is reported
 ///   (e.g. the paper quotes time to a stable 80 % for Fig. 3).
 /// * `csv_prefix` — base name for the per-mechanism CSV traces.
-/// * `num_seeds` — replication count (the binaries pass the `--seeds N`
-///   flag); `1` reproduces the historical single-seed output byte for byte,
-///   `> 1` adds mean±std rows and `*_errorbars.csv` files.
+/// * `params` — scale, replication and run-shape overrides
+///   ([`FigureParams::from_env`] for the binaries). `num_seeds == 1`
+///   reproduces the historical single-seed output byte for byte; `> 1` adds
+///   mean±std rows, `*_errorbars.csv` files and a shaded-band gnuplot script.
 pub fn run_time_accuracy_figure(
     title: &str,
     workload: FlSystemConfig,
     mechanisms: &[MechanismChoice],
     accuracy_targets: &[f64],
     csv_prefix: &str,
-    scale: Scale,
-    num_seeds: usize,
+    params: &FigureParams,
 ) -> FigureOutcome {
-    let cfg = scale.apply(workload);
+    let scale = params.scale;
+    let cfg = params.apply(workload);
     println!(
         "{title}\n  workload: {} | {} workers | {} rounds (scale: {scale:?})",
         cfg.dataset.name,
         cfg.num_workers,
-        scale.total_rounds()
+        params.rounds()
     );
-    let seeds = replication_seeds(FIGURE_RUN_SEED, num_seeds.max(1));
-    let system = cfg.build(&mut Rng64::seed_from(FIGURE_SYSTEM_SEED));
-    let cells = compare_on_system_replicated(
-        &system,
+    let plan = params.plan();
+    let seeds = plan.run_seeds.clone();
+    let cells = compare_mechanisms_replicated(
+        &cfg,
         mechanisms,
-        scale.total_rounds(),
-        scale.eval_every(),
-        None,
-        &seeds,
+        params.rounds(),
+        params.eval(),
+        params.max_virtual_time,
+        &plan,
     );
     let mut header = vec![
         "mechanism".to_string(),
@@ -117,6 +210,13 @@ pub fn run_time_accuracy_figure(
             seeds[0],
             seeds[seeds.len() - 1]
         );
+        if plan.vary_system {
+            println!(
+                "  system re-sampled per replicate (system seeds {}..{})",
+                plan.system_seed,
+                plan.system_seed + (seeds.len() as u64 - 1)
+            );
+        }
         for c in &cells {
             let acc = c.final_accuracy_stats();
             let loss = c.final_loss_stats();
@@ -165,6 +265,23 @@ pub fn run_time_accuracy_figure(
             );
         }
     }
+    if seeds.len() > 1 {
+        // One shaded-band script over every mechanism's error-bar CSV.
+        let series: Vec<(String, String)> = cells
+            .iter()
+            .map(|c| {
+                let stem = c.mechanism.to_lowercase().replace(['-', ' '], "_");
+                (
+                    c.mechanism.clone(),
+                    format!("{csv_prefix}_{stem}_errorbars.csv"),
+                )
+            })
+            .collect();
+        try_write_csv(
+            &format!("{csv_prefix}_errorbars.gp"),
+            &gnuplot_script(title, &format!("{csv_prefix}_errorbars.png"), &series),
+        );
+    }
     FigureOutcome { cells }
 }
 
@@ -209,6 +326,14 @@ pub fn print_speedups(outcome: &FigureOutcome, target: f64) {
 mod tests {
     use super::*;
 
+    fn quick_params(num_seeds: usize) -> FigureParams {
+        FigureParams {
+            scale: Scale::Quick,
+            num_seeds,
+            ..FigureParams::default()
+        }
+    }
+
     #[test]
     fn figure_driver_runs_at_quick_scale() {
         let outcome = run_time_accuracy_figure(
@@ -217,13 +342,29 @@ mod tests {
             &[MechanismChoice::AirFedAvg, MechanismChoice::AirFedGa],
             &[0.5],
             "test_fig",
-            Scale::Quick,
-            1,
+            &quick_params(1),
         );
         assert_eq!(outcome.summaries().count(), 2);
         assert_eq!(outcome.cells.len(), 2);
         assert_eq!(outcome.get("Air-FedGA").mechanism, "Air-FedGA");
         print_speedups(&outcome, 0.5);
+    }
+
+    #[test]
+    fn figure_params_resolve_overrides() {
+        let p = FigureParams {
+            scale: Scale::Quick,
+            num_workers: Some(7),
+            total_rounds: Some(11),
+            ..FigureParams::default()
+        };
+        assert_eq!(p.rounds(), 11);
+        assert_eq!(p.eval(), Scale::Quick.eval_every());
+        assert_eq!(p.apply(FlSystemConfig::mnist_lr()).num_workers, 7);
+        let plan = p.plan();
+        assert_eq!(plan.run_seeds, vec![FIGURE_RUN_SEED]);
+        assert_eq!(plan.system_seed, FIGURE_SYSTEM_SEED);
+        assert!(!plan.vary_system);
     }
 
     #[test]
@@ -234,8 +375,7 @@ mod tests {
             &[MechanismChoice::AirFedGa],
             &[0.5],
             "test_fig_s1",
-            Scale::Quick,
-            1,
+            &quick_params(1),
         );
         let triple = run_time_accuracy_figure(
             "triple",
@@ -243,8 +383,7 @@ mod tests {
             &[MechanismChoice::AirFedGa],
             &[0.5],
             "test_fig_s3",
-            Scale::Quick,
-            3,
+            &quick_params(3),
         );
         // Replicate 0 of the multi-seed run IS the single-seed run.
         let a = &single.cells[0].first().trace;

@@ -202,13 +202,22 @@ pub fn compare_mechanisms(
 ///
 /// Under `PARALLEL_THREADS=1` the cells run in-line in input order, which the
 /// CI determinism job uses to cross-check the parallel schedule.
+///
+/// Grid cells are exactly the workload over-decomposition exists for —
+/// heterogeneous mechanisms and seeds finishing at very different times — so
+/// the fan-out passes [`ChunkHint::Fine`] to the pool (scheduling-only: any
+/// hint, and any explicit `PARALLEL_CHUNKS` pin, is bit-identical).
 pub fn run_grid<T, R, F>(cells: Vec<T>, run_cell: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    cells.into_par_iter().map(run_cell).collect()
+    cells
+        .into_par_iter()
+        .map(run_cell)
+        .with_chunk_hint(ChunkHint::Fine)
+        .collect()
 }
 
 /// Fan the full (cell × seed) replication product across the persistent
@@ -243,6 +252,93 @@ where
             CellStats::from_summaries(seeds.to_vec(), per_seed)
         })
         .collect()
+}
+
+/// How one replicated comparison derives its RNG streams: the system seed,
+/// the per-replicate run seeds, and whether the sampled system itself is
+/// re-drawn per replicate.
+///
+/// **Contract**: replicate `r` runs with run seed `run_seeds[r]`; its system
+/// is built from `system_seed` when `vary_system` is false (the historical
+/// one-system-per-figure behaviour) and from `system_seed + r` when true
+/// (folding system-sampling noise into the error bars as well). Replicate 0
+/// therefore always reproduces the historical run bit for bit, with or
+/// without `vary_system`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedPlan {
+    /// Seed the system (shards, profiles, channel draws, initial model) is
+    /// built from (replicate `r` adds `r` when [`Self::vary_system`]).
+    pub system_seed: u64,
+    /// Per-replicate run seeds, in replication order.
+    pub run_seeds: Vec<u64>,
+    /// Re-sample the system per replicate (`--system-seeds`).
+    pub vary_system: bool,
+}
+
+impl SeedPlan {
+    /// A plan with the given seeds and the historical fixed-system behaviour.
+    pub fn fixed_system(system_seed: u64, run_seeds: Vec<u64>) -> Self {
+        Self {
+            system_seed,
+            run_seeds,
+            vary_system: false,
+        }
+    }
+
+    /// Number of replicates.
+    pub fn num_seeds(&self) -> usize {
+        self.run_seeds.len()
+    }
+
+    /// The replicate index of a run seed from this plan's stream.
+    pub fn replicate_of(&self, run_seed: u64) -> usize {
+        self.run_seeds
+            .iter()
+            .position(|&s| s == run_seed)
+            .expect("run seed is not part of this SeedPlan")
+    }
+
+    /// The system seed replicate `run_seed` builds its system from.
+    pub fn system_seed_for(&self, run_seed: u64) -> u64 {
+        if self.vary_system {
+            self.system_seed + self.replicate_of(run_seed) as u64
+        } else {
+            self.system_seed
+        }
+    }
+}
+
+/// Replicated comparison driven by a [`SeedPlan`]: one replicated cell per
+/// mechanism. With a fixed-system plan the system is built once and shared
+/// (byte-identical to the historical [`compare_on_system_replicated`] path);
+/// with `vary_system` every replicate builds its own system from
+/// `system_seed + r`, so the folded statistics cover system-sampling noise
+/// too.
+pub fn compare_mechanisms_replicated(
+    config: &FlSystemConfig,
+    mechanisms: &[MechanismChoice],
+    total_rounds: usize,
+    eval_every: usize,
+    max_virtual_time: Option<f64>,
+    plan: &SeedPlan,
+) -> Vec<CellStats> {
+    if !plan.vary_system {
+        let system = config.build(&mut Rng64::seed_from(plan.system_seed));
+        return compare_on_system_replicated(
+            &system,
+            mechanisms,
+            total_rounds,
+            eval_every,
+            max_virtual_time,
+            &plan.run_seeds,
+        );
+    }
+    run_replicated(mechanisms.to_vec(), &plan.run_seeds, |&choice, run_seed| {
+        let system = config.build(&mut Rng64::seed_from(plan.system_seed_for(run_seed)));
+        let mech = choice.build(total_rounds, eval_every, max_virtual_time);
+        let trace = mech.run(&system, &mut Rng64::seed_from(run_seed));
+        RunSummary::from_trace(trace)
+    })
 }
 
 /// Replicated variant of [`compare_on_system`]: one replicated cell per
@@ -432,6 +528,92 @@ mod tests {
                 "replicates are identical — seed stream not reaching the run"
             );
         }
+    }
+
+    #[test]
+    fn seed_plan_resolves_system_seeds() {
+        let fixed = SeedPlan::fixed_system(42, vec![4242, 4243, 4244]);
+        assert_eq!(fixed.num_seeds(), 3);
+        assert_eq!(fixed.system_seed_for(4244), 42);
+        let varying = SeedPlan {
+            vary_system: true,
+            ..fixed.clone()
+        };
+        assert_eq!(varying.system_seed_for(4242), 42);
+        assert_eq!(varying.system_seed_for(4244), 44);
+        assert_eq!(varying.replicate_of(4243), 1);
+    }
+
+    #[test]
+    fn fixed_system_plan_matches_the_historical_path() {
+        let cfg = FlSystemConfig::mnist_lr_quick();
+        let plan = SeedPlan::fixed_system(5, vec![4242, 4243]);
+        let via_plan =
+            compare_mechanisms_replicated(&cfg, &[MechanismChoice::AirFedGa], 6, 2, None, &plan);
+        let system = cfg.build(&mut Rng64::seed_from(5));
+        let direct = compare_on_system_replicated(
+            &system,
+            &[MechanismChoice::AirFedGa],
+            6,
+            2,
+            None,
+            &[4242, 4243],
+        );
+        for (a, b) in via_plan.iter().zip(direct.iter()) {
+            assert_eq!(a.mechanism, b.mechanism);
+            for (pa, pb) in a.per_seed.iter().zip(b.per_seed.iter()) {
+                for (x, y) in pa.trace.points().iter().zip(pb.trace.points()) {
+                    assert_eq!(x.loss.to_bits(), y.loss.to_bits());
+                    assert_eq!(x.time.to_bits(), y.time.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn varying_system_plan_changes_later_replicates_only() {
+        let cfg = FlSystemConfig::mnist_lr_quick();
+        let fixed = compare_mechanisms_replicated(
+            &cfg,
+            &[MechanismChoice::AirFedGa],
+            6,
+            2,
+            None,
+            &SeedPlan::fixed_system(5, vec![4242, 4243]),
+        );
+        let varying = compare_mechanisms_replicated(
+            &cfg,
+            &[MechanismChoice::AirFedGa],
+            6,
+            2,
+            None,
+            &SeedPlan {
+                system_seed: 5,
+                run_seeds: vec![4242, 4243],
+                vary_system: true,
+            },
+        );
+        // Replicate 0 builds its system from the same seed either way: the
+        // canonical run is untouched.
+        for (x, y) in fixed[0]
+            .first()
+            .trace
+            .points()
+            .iter()
+            .zip(varying[0].first().trace.points())
+        {
+            assert_eq!(x.loss.to_bits(), y.loss.to_bits());
+            assert_eq!(x.time.to_bits(), y.time.to_bits());
+        }
+        // Replicate 1 sees a different system (seed 6), so its trace differs
+        // from the fixed-system replicate 1 somewhere.
+        let differs = fixed[0].per_seed[1]
+            .trace
+            .points()
+            .iter()
+            .zip(varying[0].per_seed[1].trace.points())
+            .any(|(x, y)| x.loss.to_bits() != y.loss.to_bits());
+        assert!(differs, "vary_system did not reach the system build");
     }
 
     #[test]

@@ -7,26 +7,33 @@
 //!
 //! * [`harness`] — building systems, running a set of mechanisms on the same
 //!   system, and collecting time/energy-to-accuracy summaries.
-//! * [`report`] — plain-text table rendering and CSV output (including the
-//!   error-bar CSVs of replicated runs).
+//! * [`figures`] / [`sweeps`] — the shared figure drivers (time-accuracy
+//!   comparisons, the ξ-sweep and the scalability sweep) parameterised by
+//!   [`figures::FigureParams`]; the `fig*` binaries and the `scenario`
+//!   crate's declarative spec files execute these same code paths.
+//! * [`report`] — plain-text table rendering, CSV output (including the
+//!   error-bar CSVs of replicated runs) and shaded-band gnuplot scripts.
 //! * [`scale`] — the `AIRFEDGA_SCALE` switch (`full` / `quick`) so the same
-//!   binaries can be exercised in CI seconds or run at paper scale.
-//! * [`stats`] — Welford replication statistics behind the `--seeds N`
-//!   multi-seed error-bar flag of `fig3` / `fig8` / `fig10`.
+//!   binaries can be exercised in CI seconds or run at paper scale, plus the
+//!   `--seeds N` / `--system-seeds` flag parsers.
+//! * [`stats`] — Welford replication statistics behind the multi-seed
+//!   error-bar flags.
 //!
 //! | Binary | Reproduces |
 //! |--------|------------|
-//! | `fig3_lr_mnist`     | Fig. 3 — loss/accuracy vs time, LR on MNIST-like |
 //! | `fig4_cnn_mnist`    | Fig. 4 — loss/accuracy vs time, CNN on MNIST-like |
 //! | `fig5_cnn_cifar`    | Fig. 5 — loss/accuracy vs time, CNN on CIFAR-10-like |
 //! | `fig6_vgg_imagenet` | Fig. 6 — loss/accuracy vs time, VGG-16 surrogate on ImageNet-100-like |
 //! | `fig7_grouping_boxplot` | Fig. 7 — per-group latency ranges at ξ = 0.3 |
-//! | `fig8_xi_sweep`     | Fig. 8 — time to 80/85/90 % accuracy vs ξ |
 //! | `fig9_energy`       | Fig. 9 — aggregation energy to reach target accuracy |
-//! | `fig10_scalability` | Fig. 10 — single-round and total time vs number of workers |
 //! | `table1_comparison` | Table I — qualitative mechanism comparison, measured proxies |
 //! | `table3_emd`        | Table III — average inter-group EMD per grouping method |
 //! | `theorem1_bound`    | Theorem 1 / Corollaries 1–2 — numeric bound evaluation |
+//!
+//! The `fig3_lr_mnist`, `fig8_xi_sweep` and `fig10_scalability` binaries
+//! moved to the `scenario` crate as thin wrappers over committed scenario
+//! files (`scenarios/fig3.toml`, …) — run them, or any other spec, with
+//! `airfedga-run <scenario.toml>`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,8 +43,10 @@ pub mod harness;
 pub mod report;
 pub mod scale;
 pub mod stats;
+pub mod sweeps;
 
-pub use harness::{compare_mechanisms, run_replicated, MechanismChoice, RunSummary};
+pub use figures::FigureParams;
+pub use harness::{compare_mechanisms, run_replicated, MechanismChoice, RunSummary, SeedPlan};
 pub use report::{write_csv, Table};
 pub use scale::Scale;
 pub use stats::{replication_seeds, CellStats, SummaryStats, Welford};

@@ -155,6 +155,56 @@ pub fn error_bar_csv(points: &[PointStats]) -> String {
     out
 }
 
+/// Render a gnuplot script that draws shaded-band mean±std curves from
+/// error-bar CSVs in the [`error_bar_csv`] layout.
+///
+/// `series` pairs a legend label with the CSV file name (relative to the
+/// script, i.e. both live in `results/`); the script draws one loss panel
+/// and one accuracy panel against the mean virtual time, with a translucent
+/// `mean±std` band under each mean curve, and writes `output_png`. Column
+/// indices follow [`error_bar_csv`]: time mean 3, loss mean/std 7/8,
+/// accuracy mean/std 11/12.
+///
+/// Usage: `gnuplot <name>.gp` from the directory holding the CSVs.
+pub fn gnuplot_script(title: &str, output_png: &str, series: &[(String, String)]) -> String {
+    let esc = |s: &str| s.replace('\'', "''");
+    let mut out = String::new();
+    out.push_str("# Shaded-band mean±std plot over replication seeds.\n");
+    out.push_str("# Generated next to the error-bar CSVs; run from that directory:\n");
+    out.push_str("#   gnuplot thisfile.gp\n");
+    out.push_str("set datafile separator ','\n");
+    out.push_str("set terminal pngcairo size 1200,500 enhanced\n");
+    out.push_str(&format!("set output '{}'\n", esc(output_png)));
+    out.push_str(&format!(
+        "set multiplot layout 1,2 title '{}'\n",
+        esc(title)
+    ));
+    out.push_str("set key top right\n");
+    out.push_str("set xlabel 'virtual time (s)'\n");
+    for (ylabel, mean_col, std_col) in [("loss", 7, 8), ("accuracy", 11, 12)] {
+        out.push_str(&format!("set ylabel '{ylabel}'\n"));
+        let mut cmds: Vec<String> = Vec::new();
+        for (i, (label, csv)) in series.iter().enumerate() {
+            let lc = i + 1;
+            cmds.push(format!(
+                "'{}' skip 1 using 3:(${mean_col}-${std_col}):(${mean_col}+${std_col}) \
+                 with filledcurves fs transparent solid 0.25 lc {lc} notitle",
+                esc(csv)
+            ));
+            cmds.push(format!(
+                "'{}' skip 1 using 3:{mean_col} with lines lw 2 lc {lc} title '{}'",
+                esc(csv),
+                esc(label)
+            ));
+        }
+        out.push_str("plot \\\n  ");
+        out.push_str(&cmds.join(", \\\n  "));
+        out.push('\n');
+    }
+    out.push_str("unset multiplot\n");
+    out
+}
+
 /// Format seconds with a sensible precision for report tables.
 pub fn fmt_secs(s: f64) -> String {
     if s.is_infinite() {
@@ -239,6 +289,33 @@ mod tests {
         assert_eq!(row.split(',').count(), 18);
         assert!(row.starts_with("5,2,1.2500,"));
         assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn gnuplot_script_covers_every_series_twice_per_panel() {
+        let series = vec![
+            (
+                "Air-FedGA".to_string(),
+                "fig3_air_fedga_errorbars.csv".to_string(),
+            ),
+            (
+                "Dynamic".to_string(),
+                "fig3_dynamic_errorbars.csv".to_string(),
+            ),
+        ];
+        let script = gnuplot_script("Fig. 3", "fig3_errorbars.png", &series);
+        assert!(script.contains("set output 'fig3_errorbars.png'"));
+        assert!(script.contains("set datafile separator ','"));
+        // Two panels x (band + mean line) per series.
+        assert_eq!(script.matches("fig3_air_fedga_errorbars.csv").count(), 4);
+        assert_eq!(script.matches("filledcurves").count(), 4);
+        assert!(script.contains("title 'Air-FedGA'"));
+        // Loss band uses columns 7/8, accuracy band 11/12.
+        assert!(script.contains("using 3:($7-$8):($7+$8)"));
+        assert!(script.contains("using 3:($11-$12):($11+$12)"));
+        // Quotes in labels are escaped for gnuplot single-quoted strings.
+        let quoted = gnuplot_script("it's", "o.png", &series);
+        assert!(quoted.contains("title 'it''s'"));
     }
 
     #[test]

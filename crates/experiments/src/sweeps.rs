@@ -1,0 +1,449 @@
+//! Shared drivers for the parameter-sweep figures: the Fig. 8 ξ-sweep and
+//! the Fig. 10 scalability sweep.
+//!
+//! Historically these lived inline in the `fig8_xi_sweep` and
+//! `fig10_scalability` binaries; they are extracted here so a declarative
+//! scenario file (the `scenario` crate) and the legacy binaries execute the
+//! **same** code path — a scenario that reproduces a figure is byte-identical
+//! to the binary that always did. Both drivers take the same
+//! [`FigureParams`] bundle as the time-accuracy figures, so `--seeds N`
+//! replication, the `--system-seeds` axis, and scenario-file overrides work
+//! uniformly across every figure shape.
+
+use crate::figures::FigureParams;
+use crate::harness::{
+    compare_mechanisms_replicated, run_grid, run_replicated, MechanismChoice, RunSummary,
+};
+use crate::report::{fmt_opt_secs, fmt_secs, try_write_csv, Table};
+use crate::scale::Scale;
+use crate::stats::CellStats;
+use airfedga::mechanism::{AirFedGa, AirFedGaConfig};
+use airfedga::system::{FlMechanism, FlSystemConfig};
+use fedml::rng::Rng64;
+
+/// Description of one ξ-sweep figure (the Fig. 8 shape): sweep the
+/// grouping-similarity parameter of Air-FedGA and report the training time
+/// to reach each accuracy target.
+#[derive(Debug, Clone)]
+pub struct XiSweepFigure {
+    /// Title prefix; the driver appends ` ({N} workers, {scale:?} scale)`.
+    pub title: String,
+    /// Workload preset (model + dataset), pre-scale.
+    pub workload: FlSystemConfig,
+    /// The ξ values to sweep. `None` selects the historical scale-dependent
+    /// grid: 0.0..=1.0 in steps of 0.1 at full scale, `[0, 0.3, 0.7, 1.0]`
+    /// at quick scale.
+    pub xis: Option<Vec<f64>>,
+    /// Accuracy targets whose time-to-reach is reported.
+    pub targets: Vec<f64>,
+    /// Output CSV file name (e.g. `fig8_xi_sweep.csv`).
+    pub csv_name: String,
+    /// Round budget as a multiple of the scale's default (the historical
+    /// sweep runs 2× so slow ξ extremes still reach the targets). An
+    /// explicit `params.total_rounds` wins over this.
+    pub rounds_factor: usize,
+}
+
+/// Format a ξ value for tables and CSVs: one decimal when that is exact
+/// (the historical grids are 0.1-spaced, so `0.3` / `1.0` keep their
+/// byte-identical rendering), full precision otherwise — scenario files may
+/// sweep values like `0.25` and `0.21`, which must not collapse into
+/// indistinguishable `0.2` rows.
+pub fn fmt_xi(xi: f64) -> String {
+    let one = format!("{xi:.1}");
+    if one.parse::<f64>() == Ok(xi) {
+        one
+    } else {
+        format!("{xi}")
+    }
+}
+
+impl XiSweepFigure {
+    /// The historical scale-dependent ξ grid.
+    pub fn default_xis(scale: Scale) -> Vec<f64> {
+        match scale {
+            Scale::Full => (0..=10).map(|i| i as f64 / 10.0).collect(),
+            Scale::Quick => vec![0.0, 0.3, 0.7, 1.0],
+        }
+    }
+}
+
+/// Run a ξ-sweep figure: one replicated grid cell per ξ value, fanned across
+/// the persistent pool, printing the time-to-target table and writing the
+/// sweep CSV. Byte-identical to the historical `fig8_xi_sweep` binary for
+/// the default parameters.
+pub fn run_xi_sweep(fig: &XiSweepFigure, params: &FigureParams) {
+    let scale = params.scale;
+    let plan = params.plan();
+    let seeds = plan.run_seeds.clone();
+    let cfg = params.apply(fig.workload.clone());
+    let system = cfg.build(&mut Rng64::seed_from(plan.system_seed));
+    let xis = fig
+        .xis
+        .clone()
+        .unwrap_or_else(|| XiSweepFigure::default_xis(scale));
+    let total_rounds = params
+        .total_rounds
+        .unwrap_or_else(|| scale.total_rounds() * fig.rounds_factor);
+    let eval_every = params.eval();
+    let mech_for = |xi: f64| {
+        AirFedGa::new(AirFedGaConfig {
+            xi,
+            total_rounds,
+            eval_every,
+            max_virtual_time: params.max_virtual_time,
+            ..AirFedGaConfig::default()
+        })
+    };
+
+    println!(
+        "{} ({} workers, {:?} scale)\n",
+        fig.title,
+        system.num_workers(),
+        scale
+    );
+    // Group counts are seed-independent (Algorithm 3 is deterministic given
+    // the system), so they are computed once per ξ outside the replication;
+    // under `--system-seeds` they describe the replicate-0 system.
+    let groups: Vec<usize> = run_grid(xis.clone(), |xi| {
+        mech_for(xi).grouping_for(&system).num_groups()
+    });
+    // One replicated cell per ξ; each (ξ, seed) replicate re-seeds its own
+    // run RNG (and, under `--system-seeds`, builds its own system), so the
+    // fanned sweep is bit-identical to the sequential double loop at any
+    // thread count / chunk factor.
+    let sweep = run_replicated(xis.clone(), &seeds, |&xi, seed| {
+        if plan.vary_system {
+            let sys = cfg.build(&mut Rng64::seed_from(plan.system_seed_for(seed)));
+            RunSummary::from_trace(mech_for(xi).run(&sys, &mut Rng64::seed_from(seed)))
+        } else {
+            RunSummary::from_trace(mech_for(xi).run(&system, &mut Rng64::seed_from(seed)))
+        }
+    });
+
+    let mut header: Vec<String> = vec!["xi".to_string(), "groups".to_string()];
+    for t in &fig.targets {
+        header.push(format!("t@{:.0}%", t * 100.0));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    if seeds.len() == 1 {
+        let mut table = Table::new(
+            "Training time (s) to reach target accuracy vs xi",
+            &header_refs,
+        );
+        let mut csv = String::from("xi,groups");
+        for t in &fig.targets {
+            csv.push_str(&format!(",t{:.0}", t * 100.0));
+        }
+        csv.push('\n');
+        for ((xi, num_groups), cell) in xis.iter().zip(&groups).zip(&sweep) {
+            let times: Vec<Option<f64>> = fig
+                .targets
+                .iter()
+                .map(|&t| cell.first().time_to_accuracy(t))
+                .collect();
+            let mut row = vec![fmt_xi(*xi), format!("{num_groups}")];
+            row.extend(times.iter().map(|&t| fmt_opt_secs(t)));
+            table.add_row(row);
+            csv.push_str(&format!("{},{num_groups}", fmt_xi(*xi)));
+            for t in &times {
+                csv.push(',');
+                csv.push_str(&t.map(|t| format!("{t:.1}")).unwrap_or_default());
+            }
+            csv.push('\n');
+        }
+        println!("{}", table.render());
+        try_write_csv(&fig.csv_name, &csv);
+    } else {
+        println!(
+            "  replicated over {} seeds ({}..{}); cells are mean±std [reached/total]\n",
+            seeds.len(),
+            seeds[0],
+            seeds[seeds.len() - 1]
+        );
+        if plan.vary_system {
+            println!(
+                "  system re-sampled per replicate (system seeds {}..{})\n",
+                plan.system_seed,
+                plan.system_seed + (seeds.len() as u64 - 1)
+            );
+        }
+        let mut table = Table::new(
+            "Training time (s) to reach target accuracy vs xi",
+            &header_refs,
+        );
+        let mut csv = String::from("xi,groups");
+        for t in &fig.targets {
+            let pct = t * 100.0;
+            csv.push_str(&format!(",t{pct:.0}_mean,t{pct:.0}_std,t{pct:.0}_n"));
+        }
+        csv.push('\n');
+        for ((xi, num_groups), cell) in xis.iter().zip(&groups).zip(&sweep) {
+            let stats: Vec<_> = fig
+                .targets
+                .iter()
+                .map(|&t| cell.time_to_accuracy_stats(t))
+                .collect();
+            let mut row = vec![fmt_xi(*xi), format!("{num_groups}")];
+            row.extend(stats.iter().map(|s| s.fmt_with_count(0, seeds.len())));
+            table.add_row(row);
+            csv.push_str(&format!("{},{num_groups}", fmt_xi(*xi)));
+            for s in &stats {
+                csv.push(',');
+                csv.push_str(&s.csv_fields(1));
+            }
+            csv.push('\n');
+        }
+        println!("{}", table.render());
+        try_write_csv(&fig.csv_name, &csv);
+    }
+}
+
+/// Description of one scalability figure (the Fig. 10 shape): sweep the
+/// worker count and report single-round and total time per mechanism.
+#[derive(Debug, Clone)]
+pub struct ScalabilityFigure {
+    /// Title prefix; the driver renders `"{title} (left): …"` and
+    /// `"{title} (right): …"` table headings from it.
+    pub title: String,
+    /// Workload preset (model + dataset), pre-scale.
+    pub workload: FlSystemConfig,
+    /// The worker counts to sweep. `None` selects the historical
+    /// scale-dependent grid (20..=100 step 20 full, `[10, 20]` quick).
+    pub worker_counts: Option<Vec<usize>>,
+    /// Samples added per worker (the sweep keeps per-worker shard size
+    /// constant, so adding workers adds data).
+    pub per_worker_samples: usize,
+    /// The accuracy target of the total-time panel.
+    pub target: f64,
+    /// Mechanisms compared (table columns, in this order).
+    pub mechanisms: Vec<MechanismChoice>,
+    /// Output CSV file name (e.g. `fig10_scalability.csv`).
+    pub csv_name: String,
+}
+
+impl ScalabilityFigure {
+    /// The historical scale-dependent worker-count grid.
+    pub fn default_worker_counts(scale: Scale) -> Vec<usize> {
+        match scale {
+            Scale::Full => vec![20, 40, 60, 80, 100],
+            Scale::Quick => vec![10, 20],
+        }
+    }
+}
+
+/// Run a scalability figure: a two-level grid (worker counts outer, the
+/// replicated mechanism comparison inner), printing the per-`N` round-time
+/// and total-time tables and writing the sweep CSV. Byte-identical to the
+/// historical `fig10_scalability` binary for the default parameters.
+pub fn run_scalability(fig: &ScalabilityFigure, params: &FigureParams) {
+    let scale = params.scale;
+    let plan = params.plan();
+    let seeds = plan.run_seeds.clone();
+    let worker_counts = fig
+        .worker_counts
+        .clone()
+        .unwrap_or_else(|| ScalabilityFigure::default_worker_counts(scale));
+    let target = fig.target;
+    let replicated = seeds.len() > 1;
+    let total_rounds = params.rounds();
+    let eval_every = params.eval();
+
+    let order: Vec<&'static str> = fig.mechanisms.iter().map(|m| m.label()).collect();
+    let mut header: Vec<&str> = vec!["N"];
+    header.extend(order.iter().copied());
+    let mut round_table = Table::new(
+        &format!(
+            "{} (left): average single-round time (s) vs number of workers",
+            fig.title
+        ),
+        &header,
+    );
+    let mut total_table = Table::new(
+        &format!(
+            "{} (right): total time (s) to stable {:.0}% accuracy vs number of workers",
+            fig.title,
+            target * 100.0
+        ),
+        &header,
+    );
+    let mut csv = if replicated {
+        format!(
+            "n,mechanism,seeds,avg_round_s_mean,avg_round_s_std,\
+             time_to_{0:.0}_s_mean,time_to_{0:.0}_s_std,time_to_{0:.0}_n\n",
+            target * 100.0
+        )
+    } else {
+        format!("n,mechanism,avg_round_s,time_to_{:.0}_s\n", target * 100.0)
+    };
+
+    // Two-level grid: the outer cells are the worker counts, and each cell
+    // fans its (mechanism × seed) replicates through the pool again — nested
+    // fan-out the pool resolves without deadlock, with over-decomposition
+    // keeping threads busy across the very uneven per-mechanism costs. Every
+    // replicate derives its RNG streams from its own (system_seed, run_seed),
+    // so this is bit-identical to the sequential triple loop it replaced.
+    let per_n: Vec<(usize, Vec<CellStats>)> = run_grid(worker_counts, |n| {
+        let mut cfg = scale.apply(fig.workload.clone());
+        cfg.num_workers = n;
+        // Keep the per-worker shard size constant across the sweep, as in a
+        // scalability experiment where adding workers adds data: this
+        // isolates how the *mechanisms* scale with N rather than how
+        // shrinking shards speed up local training.
+        cfg.dataset.samples_per_class = fig.per_worker_samples * n / cfg.dataset.num_classes.max(1);
+        let cells = compare_mechanisms_replicated(
+            &cfg,
+            &fig.mechanisms,
+            total_rounds,
+            eval_every,
+            params.max_virtual_time,
+            &plan,
+        );
+        (n, cells)
+    });
+    for (n, cells) in per_n {
+        let cell = |label: &str, f: &dyn Fn(&CellStats) -> String| {
+            cells
+                .iter()
+                .find(|c| c.mechanism == label)
+                .map(f)
+                .unwrap_or_else(|| "n/a".to_string())
+        };
+        let mut round_row = vec![n.to_string()];
+        let mut total_row = vec![n.to_string()];
+        for label in &order {
+            if replicated {
+                round_row.push(cell(label, &|c| {
+                    c.average_round_time_stats().fmt_mean_std(1)
+                }));
+                total_row.push(cell(label, &|c| {
+                    c.time_to_accuracy_stats(target)
+                        .fmt_with_count(0, seeds.len())
+                }));
+            } else {
+                round_row.push(cell(label, &|c| fmt_secs(c.first().average_round_time)));
+                total_row.push(cell(label, &|c| {
+                    fmt_opt_secs(c.first().time_to_accuracy(target))
+                }));
+            }
+        }
+        round_table.add_row(round_row);
+        total_table.add_row(total_row);
+        for c in &cells {
+            if replicated {
+                let round = c.average_round_time_stats();
+                let tta = c.time_to_accuracy_stats(target);
+                csv.push_str(&format!(
+                    "{n},{},{},{:.2},{:.2},{}\n",
+                    c.mechanism,
+                    seeds.len(),
+                    round.mean,
+                    round.std,
+                    tta.csv_fields(1),
+                ));
+            } else {
+                let s = c.first();
+                csv.push_str(&format!(
+                    "{n},{},{:.2},{}\n",
+                    s.mechanism,
+                    s.average_round_time,
+                    s.time_to_accuracy(target)
+                        .map(|t| format!("{t:.1}"))
+                        .unwrap_or_default()
+                ));
+            }
+        }
+        println!("finished N = {n}");
+    }
+    println!();
+    println!("{}", round_table.render());
+    println!("{}", total_table.render());
+    try_write_csv(&fig.csv_name, &csv);
+}
+
+/// A general mechanism constructor for sweep cells: the named mechanism at
+/// the given round budget, with an optional ξ override applied to Air-FedGA
+/// (the other mechanisms have no ξ; the override is ignored for them).
+pub fn build_sweep_mechanism(
+    choice: MechanismChoice,
+    xi: Option<f64>,
+    total_rounds: usize,
+    eval_every: usize,
+    max_virtual_time: Option<f64>,
+) -> Box<dyn FlMechanism> {
+    match (choice, xi) {
+        (MechanismChoice::AirFedGa, Some(xi)) => Box::new(AirFedGa::new(AirFedGaConfig {
+            xi,
+            total_rounds,
+            eval_every,
+            max_virtual_time,
+            ..AirFedGaConfig::default()
+        })),
+        (choice, _) => choice.build(total_rounds, eval_every, max_virtual_time),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grids_match_the_historical_binaries() {
+        assert_eq!(
+            XiSweepFigure::default_xis(Scale::Quick),
+            vec![0.0, 0.3, 0.7, 1.0]
+        );
+        assert_eq!(XiSweepFigure::default_xis(Scale::Full).len(), 11);
+        assert_eq!(
+            ScalabilityFigure::default_worker_counts(Scale::Full),
+            vec![20, 40, 60, 80, 100]
+        );
+        assert_eq!(
+            ScalabilityFigure::default_worker_counts(Scale::Quick),
+            vec![10, 20]
+        );
+    }
+
+    #[test]
+    fn xi_formatting_is_historical_for_coarse_grids_and_lossless_for_fine() {
+        // The historical 0.1-spaced grids keep their byte-identical one
+        // decimal rendering…
+        assert_eq!(fmt_xi(0.3), "0.3");
+        assert_eq!(fmt_xi(1.0), "1.0");
+        assert_eq!(fmt_xi(0.0), "0.0");
+        // …while scenario-supplied finer values stay distinguishable.
+        assert_eq!(fmt_xi(0.25), "0.25");
+        assert_eq!(fmt_xi(0.21), "0.21");
+        assert_ne!(fmt_xi(0.25), fmt_xi(0.21));
+    }
+
+    #[test]
+    fn sweep_mechanism_builder_applies_xi_to_airfedga_only() {
+        let ga = build_sweep_mechanism(MechanismChoice::AirFedGa, Some(0.7), 10, 2, None);
+        assert_eq!(ga.name(), "Air-FedGA");
+        let avg = build_sweep_mechanism(MechanismChoice::FedAvg, Some(0.7), 10, 2, None);
+        assert_eq!(avg.name(), "FedAvg");
+        let plain = build_sweep_mechanism(MechanismChoice::AirFedGa, None, 10, 2, None);
+        assert_eq!(plain.name(), "Air-FedGA");
+    }
+
+    #[test]
+    fn xi_sweep_runs_at_test_scale() {
+        run_xi_sweep(
+            &XiSweepFigure {
+                title: "test xi sweep".to_string(),
+                workload: FlSystemConfig::mnist_lr_quick(),
+                xis: Some(vec![0.3, 1.0]),
+                targets: vec![0.5],
+                csv_name: "test_xi_sweep.csv".to_string(),
+                rounds_factor: 1,
+            },
+            &FigureParams {
+                scale: Scale::Quick,
+                total_rounds: Some(6),
+                eval_every: Some(2),
+                ..FigureParams::default()
+            },
+        );
+    }
+}

@@ -47,7 +47,12 @@
 //! claim the remaining ones, so the tail shrinks from "slowest chunk" towards
 //! "slowest single item". The factor trades tail latency against per-chunk
 //! queue overhead; 4 keeps the hot 2–4-item engine fan-outs at one item per
-//! chunk while giving large experiment grids room to balance.
+//! chunk while giving large experiment grids room to balance. Callers that
+//! know their cost profile can override the factor per call with a
+//! [`ChunkHint`] (`.map(..).with_chunk_hint(..)`): fine splits for uneven
+//! experiment grids, coarse splits for uniform micro fan-outs. An explicit
+//! `PARALLEL_CHUNKS` pin beats every hint; hints are scheduling-only and
+//! never change results.
 //!
 //! ## Determinism
 //!
@@ -86,7 +91,7 @@ use std::sync::{Mutex, OnceLock};
 
 /// Convenience re-exports mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParVec, ParSlice};
+    pub use crate::{ChunkHint, IntoParVec, ParSlice};
 }
 
 /// Maximum number of threads a fork/join call will use (the calling thread
@@ -105,21 +110,71 @@ pub fn max_threads() -> usize {
     })
 }
 
+/// The built-in over-decomposition factor used when neither the
+/// `PARALLEL_CHUNKS` environment variable nor a per-call [`ChunkHint`]
+/// overrides it.
+pub const DEFAULT_CHUNK_FACTOR: usize = 4;
+
+/// The explicitly-pinned over-decomposition factor, if any: the
+/// `PARALLEL_CHUNKS` environment variable, read once at first use. An
+/// explicit pin takes precedence over per-call [`ChunkHint`]s, so the CI
+/// determinism matrix (and profiling runs) can force one factor everywhere.
+fn env_chunk_factor() -> Option<usize> {
+    static CACHED: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("PARALLEL_CHUNKS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|n| n.max(1))
+    })
+}
+
 /// Over-decomposition factor: a parallel map targets `chunk_factor() ×`
 /// [`max_threads`] chunks (capped by the item count). Defaults to 4; pinned
 /// with the `PARALLEL_CHUNKS` environment variable, read once at first use
 /// (`1` restores the old one-contiguous-chunk-per-thread split). The factor
 /// never affects results — only how finely the scheduler can load-balance.
 pub fn chunk_factor() -> usize {
-    static CACHED: OnceLock<usize> = OnceLock::new();
-    *CACHED.get_or_init(|| {
-        if let Ok(v) = std::env::var("PARALLEL_CHUNKS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                return n.max(1);
-            }
+    env_chunk_factor().unwrap_or(DEFAULT_CHUNK_FACTOR)
+}
+
+/// Per-call hint for how finely a parallel map should over-decompose its
+/// input, for callers that know their cost profile: experiment grids with
+/// wildly uneven cells want fine splits so the work-claiming scheduler can
+/// rebalance, while uniform micro fan-outs (e.g. a round's per-member local
+/// updates) want coarse splits to shave queue overhead.
+///
+/// Hints are **scheduling-only**: the chunk → output mapping stays fixed, so
+/// any hint is bit-identical to any other (and to sequential execution). An
+/// explicit `PARALLEL_CHUNKS` environment pin overrides every hint, which
+/// keeps the CI determinism matrix able to force one factor everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkHint {
+    /// Use the global default ([`chunk_factor`]).
+    #[default]
+    Default,
+    /// Known-uneven workloads: split 4× finer than the default (factor 16).
+    Fine,
+    /// Uniform micro fan-outs: one contiguous chunk per thread (factor 1).
+    Coarse,
+    /// An explicit factor (clamped to at least 1).
+    Factor(usize),
+}
+
+impl ChunkHint {
+    /// The effective over-decomposition factor for this hint, honouring an
+    /// explicit `PARALLEL_CHUNKS` pin over the hint itself.
+    pub fn factor(self) -> usize {
+        if let Some(pinned) = env_chunk_factor() {
+            return pinned;
         }
-        4
-    })
+        match self {
+            ChunkHint::Default => DEFAULT_CHUNK_FACTOR,
+            ChunkHint::Fine => 4 * DEFAULT_CHUNK_FACTOR,
+            ChunkHint::Coarse => 1,
+            ChunkHint::Factor(n) => n.max(1),
+        }
+    }
 }
 
 /// Number of persistent worker threads backing the pool: `max_threads() - 1`
@@ -431,6 +486,7 @@ impl<'a, T: Sync> ParIter<'a, T> {
         ParMap {
             items: self.items,
             f,
+            hint: ChunkHint::Default,
         }
     }
 }
@@ -439,21 +495,30 @@ impl<'a, T: Sync> ParIter<'a, T> {
 pub struct ParMap<'a, T, F> {
     items: &'a [T],
     f: F,
+    hint: ChunkHint,
 }
 
 /// Contiguous chunk length for `n` items under over-decomposition: the map
-/// targets [`chunk_factor`]` × `[`max_threads`] chunks, capped by the item
-/// count, so uneven per-item costs can be rebalanced by the work-claiming
-/// scheduler instead of serializing the fan-out on the slowest thread.
-/// Boundaries are a pure function of `(n, threads, factor)` — and the output
-/// concatenation is chunking-independent, so any setting of either knob is
-/// bit-identical to sequential execution.
-fn chunk_len(n: usize) -> usize {
-    let target = (max_threads() * chunk_factor()).min(n.max(1));
+/// targets `hint.factor() × `[`max_threads`] chunks (the factor defaulting to
+/// [`chunk_factor`]), capped by the item count, so uneven per-item costs can
+/// be rebalanced by the work-claiming scheduler instead of serializing the
+/// fan-out on the slowest thread. Boundaries are a pure function of
+/// `(n, threads, factor)` — and the output concatenation is
+/// chunking-independent, so any setting of any knob is bit-identical to
+/// sequential execution.
+fn chunk_len(n: usize, hint: ChunkHint) -> usize {
+    let target = (max_threads() * hint.factor()).min(n.max(1));
     n.div_ceil(target)
 }
 
 impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Override the over-decomposition factor for this call (see
+    /// [`ChunkHint`]; scheduling-only, never affects the result).
+    pub fn with_chunk_hint(mut self, hint: ChunkHint) -> Self {
+        self.hint = hint;
+        self
+    }
+
     /// Execute the map on the pool and collect the results in input order.
     pub fn collect<R, C>(self) -> C
     where
@@ -466,7 +531,7 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
         if max_threads() <= 1 || n < 2 {
             return C::from_vec(self.items.iter().map(f).collect());
         }
-        let chunk = chunk_len(n);
+        let chunk = chunk_len(n, self.hint);
         let nchunks = n.div_ceil(chunk);
         let items = self.items;
         // One output slot per chunk; each chunk locks only its own slot, once.
@@ -500,6 +565,7 @@ impl<T: Send> ParIntoIter<T> {
         ParIntoMap {
             items: self.items,
             f,
+            hint: ChunkHint::Default,
         }
     }
 }
@@ -508,9 +574,17 @@ impl<T: Send> ParIntoIter<T> {
 pub struct ParIntoMap<T, F> {
     items: Vec<T>,
     f: F,
+    hint: ChunkHint,
 }
 
 impl<T: Send, F> ParIntoMap<T, F> {
+    /// Override the over-decomposition factor for this call (see
+    /// [`ChunkHint`]; scheduling-only, never affects the result).
+    pub fn with_chunk_hint(mut self, hint: ChunkHint) -> Self {
+        self.hint = hint;
+        self
+    }
+
     /// Execute the map on the pool and collect the results in input order.
     pub fn collect<R, C>(self) -> C
     where
@@ -523,7 +597,7 @@ impl<T: Send, F> ParIntoMap<T, F> {
         if max_threads() <= 1 || n < 2 {
             return C::from_vec(self.items.into_iter().map(f).collect());
         }
-        let chunk = chunk_len(n);
+        let chunk = chunk_len(n, self.hint);
         // Split the input into per-chunk contiguous vectors, preserving order.
         let mut split: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(chunk));
         let mut rest = self.items;
@@ -674,6 +748,55 @@ mod tests {
         let seq: Vec<f64> = xs.iter().map(|&x| x * 1.000001 + 0.5).collect();
         for (a, b) in mapped.iter().zip(seq.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunk_hints_never_change_results() {
+        let xs: Vec<f64> = (0..3_001).map(|i| (i as f64 * 0.37).cos()).collect();
+        let seq: Vec<f64> = xs.iter().map(|&x| x * 1.5 - 0.25).collect();
+        for hint in [
+            ChunkHint::Default,
+            ChunkHint::Fine,
+            ChunkHint::Coarse,
+            ChunkHint::Factor(7),
+        ] {
+            let par: Vec<f64> = xs
+                .par_iter()
+                .map(|&x| x * 1.5 - 0.25)
+                .with_chunk_hint(hint)
+                .collect();
+            for (a, b) in par.iter().zip(seq.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "hint {hint:?}");
+            }
+            let owned: Vec<f64> = xs
+                .clone()
+                .into_par_iter()
+                .map(|x| x * 1.5 - 0.25)
+                .with_chunk_hint(hint)
+                .collect();
+            assert_eq!(owned.len(), seq.len());
+            for (a, b) in owned.iter().zip(seq.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "hint {hint:?} (owned)");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_hint_factors_resolve_as_documented() {
+        // An explicit PARALLEL_CHUNKS pin overrides hints; only assert the
+        // hint → factor mapping when the environment leaves it in charge.
+        if std::env::var("PARALLEL_CHUNKS").is_err() {
+            assert_eq!(ChunkHint::Default.factor(), DEFAULT_CHUNK_FACTOR);
+            assert_eq!(ChunkHint::Fine.factor(), 4 * DEFAULT_CHUNK_FACTOR);
+            assert_eq!(ChunkHint::Coarse.factor(), 1);
+            assert_eq!(ChunkHint::Factor(7).factor(), 7);
+            assert_eq!(ChunkHint::Factor(0).factor(), 1);
+        } else {
+            let pinned = chunk_factor();
+            for hint in [ChunkHint::Default, ChunkHint::Fine, ChunkHint::Coarse] {
+                assert_eq!(hint.factor(), pinned);
+            }
         }
     }
 

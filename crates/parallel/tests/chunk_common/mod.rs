@@ -7,7 +7,7 @@
 //! sequential counterpart whatever the factor.
 
 use parallel::prelude::*;
-use parallel::{chunk_factor, fork_join_chunks, max_threads};
+use parallel::{chunk_factor, fork_join_chunks, max_threads, ChunkHint};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Once;
 
@@ -109,6 +109,31 @@ pub fn uneven_item_costs_stay_ordered() {
     assert_eq!(par, seq);
 }
 
+/// Per-call [`ChunkHint`]s under an explicit `PARALLEL_CHUNKS` pin: the pin
+/// wins (scheduling), and results stay bit-identical to sequential whatever
+/// the hint.
+pub fn chunk_hints_respect_env_pin() {
+    let pinned = chunk_factor();
+    for hint in [
+        ChunkHint::Default,
+        ChunkHint::Fine,
+        ChunkHint::Coarse,
+        ChunkHint::Factor(9),
+    ] {
+        assert_eq!(hint.factor(), pinned, "env pin must beat hint {hint:?}");
+        let xs: Vec<f64> = (0..1_777).map(|i| (i as f64 * 0.83).sin()).collect();
+        let par: Vec<f64> = xs
+            .par_iter()
+            .map(|&x| x.mul_add(0.9, 0.1))
+            .with_chunk_hint(hint)
+            .collect();
+        let seq: Vec<f64> = xs.iter().map(|&x| x.mul_add(0.9, 0.1)).collect();
+        for (a, b) in par.iter().zip(seq.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "hint {hint:?}");
+        }
+    }
+}
+
 /// `fork_join_chunks` is unaffected by the factor (the caller fixes the chunk
 /// count) — every chunk still runs exactly once.
 pub fn fork_join_still_covers_every_chunk() {
@@ -130,5 +155,6 @@ pub fn run_suite(factor: usize) {
     consuming_map_matches_sequential();
     nested_fan_out_matches_sequential();
     uneven_item_costs_stay_ordered();
+    chunk_hints_respect_env_pin();
     fork_join_still_covers_every_chunk();
 }

@@ -1,0 +1,126 @@
+//! `airfedga-run <scenario.toml>` — execute any declarative scenario file.
+//!
+//! The driver reads a spec (see the `scenario` crate and `scenarios/` for
+//! the format), validates it against the component registry, and runs it
+//! through the same deterministic experiment machinery the figure binaries
+//! use. Flags:
+//!
+//! * `--seeds N` — replicate over N run seeds (overrides `run.seeds`).
+//! * `--system-seeds` — also re-sample the system per replicate.
+//! * `--list-components` — print the registry catalogue and exit.
+//!
+//! Scale comes from `AIRFEDGA_SCALE` (`full` / `quick`), exactly as for the
+//! figure binaries. The driver prints nothing beyond what the scenario's
+//! driver prints, so spec-driven output stays byte-comparable to the legacy
+//! binaries (CI diffs them).
+
+use scenario::run_scenario_str;
+use scenario::Registry;
+
+const USAGE: &str = "usage: airfedga-run <scenario.toml> [--seeds N] [--system-seeds]\n\
+                     \u{20}      airfedga-run --list-components";
+
+/// Extract the scenario path, rejecting unknown flags and extra operands —
+/// a typo'd flag (`--system-seed`, `--seed 3`) must fail loudly, not
+/// silently run a different experiment than the one requested.
+fn scenario_path(args: &[String]) -> Result<String, String> {
+    let mut path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                if it.next().is_none() {
+                    return Err("--seeds requires a value (e.g. --seeds 3)".to_string());
+                }
+            }
+            "--system-seeds" => {}
+            _ if a.starts_with("--seeds=") => {}
+            _ if a.starts_with('-') => {
+                return Err(format!("unknown flag `{a}`"));
+            }
+            _ => {
+                if let Some(first) = &path {
+                    return Err(format!(
+                        "unexpected extra argument `{a}` (scenario file already given: {first})"
+                    ));
+                }
+                path = Some(a.clone());
+            }
+        }
+    }
+    path.ok_or_else(|| "missing scenario file".to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-components") {
+        print!("{}", Registry::builtin().describe());
+        return;
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let path = match scenario_path(&args) {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("airfedga-run: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("airfedga-run: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run_scenario_str(&text) {
+        eprintln!("airfedga-run: {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scenario_path;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn known_flags_and_one_path_are_accepted() {
+        assert_eq!(
+            scenario_path(&args(&["scenarios/fig3.toml"])).unwrap(),
+            "scenarios/fig3.toml"
+        );
+        assert_eq!(
+            scenario_path(&args(&["--seeds", "3", "s.toml", "--system-seeds"])).unwrap(),
+            "s.toml"
+        );
+        assert_eq!(
+            scenario_path(&args(&["--seeds=3", "s.toml"])).unwrap(),
+            "s.toml"
+        );
+    }
+
+    #[test]
+    fn typoed_flags_fail_instead_of_silently_running() {
+        assert!(scenario_path(&args(&["s.toml", "--system-seed"]))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(scenario_path(&args(&["s.toml", "--seed", "3"]))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(scenario_path(&args(&["--seeds"]))
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(scenario_path(&args(&["a.toml", "b.toml"]))
+            .unwrap_err()
+            .contains("extra argument"));
+        assert!(scenario_path(&args(&[]))
+            .unwrap_err()
+            .contains("missing scenario file"));
+    }
+}

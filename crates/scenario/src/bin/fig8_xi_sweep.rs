@@ -1,0 +1,22 @@
+//! Figure 8 — training time to reach 80 / 85 / 90 % accuracy as a function of
+//! the grouping-similarity parameter ξ ∈ [0, 1] (CNN on the MNIST-like
+//! dataset).
+//!
+//! The paper finds a U-shape with the minimum near ξ = 0.3: ξ → 0 degenerates
+//! to fully-asynchronous single-worker updates (no AirComp benefit, many
+//! stale updates), while ξ → 1 recreates the straggler problem inside large
+//! groups. The reproduced sweep should show both ends slower than the middle.
+//!
+//! A thin wrapper over the committed `scenarios/fig8.toml` spec (embedded at
+//! compile time): the sweep is data, executed by the same driver as
+//! `airfedga-run`, with output byte-identical to the pre-scenario hardcoded
+//! binary. `--seeds N` and `--system-seeds` work exactly as before.
+
+const SPEC: &str = include_str!("../../../../scenarios/fig8.toml");
+
+fn main() {
+    if let Err(e) = scenario::run_scenario_str(SPEC) {
+        eprintln!("fig8_xi_sweep: scenarios/fig8.toml: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,456 @@
+//! The string-keyed component registry scenario files compose from.
+//!
+//! Every axis the paper's evaluation varies — dataset, model, partitioner,
+//! heterogeneity model, wireless channel preset, mechanism, whole-workload
+//! preset — is registered here under a stable name, so a scenario file can
+//! compose combinations the hardcoded figure binaries never exposed (e.g. a
+//! Dirichlet partition of the CIFAR-10-like dataset compared across all five
+//! mechanisms). Unknown names fail with an error listing the available keys,
+//! and `airfedga-run --list-components` prints the whole catalogue.
+//!
+//! Parameterised components embed their parameters in the key:
+//! `dirichlet:0.5` (Dirichlet partitioner with α = 0.5) and
+//! `uniform:1:10` (heterogeneity `κ_i ~ U[1, 10]`).
+
+use crate::ScenarioError;
+use airfedga::system::FlSystemConfig;
+use experiments::harness::MechanismChoice;
+use fedml::dataset::SyntheticSpec;
+use fedml::model::ModelKind;
+use fedml::partition::Partitioner;
+use simcore::worker::HeterogeneityModel;
+use wireless::timing::WirelessConfig;
+
+/// One registered component: a stable name, a one-line summary for
+/// `--list-components`, and its constructor.
+struct Component<T> {
+    name: &'static str,
+    summary: &'static str,
+    build: fn() -> T,
+}
+
+const WORKLOADS: &[Component<FlSystemConfig>] = &[
+    Component {
+        name: "mnist_lr",
+        summary: "the paper's headline workload: LR (2x hidden FC) on MNIST-like, 100 workers",
+        build: FlSystemConfig::mnist_lr,
+    },
+    Component {
+        name: "mnist_lr_quick",
+        summary: "small/fast mnist_lr variant (10 workers, small shards) for tests",
+        build: FlSystemConfig::mnist_lr_quick,
+    },
+    Component {
+        name: "mnist_cnn",
+        summary: "CNN surrogate on MNIST-like (Figs. 4, 8, 9, 10)",
+        build: FlSystemConfig::mnist_cnn,
+    },
+    Component {
+        name: "cifar_cnn",
+        summary: "CNN surrogate on CIFAR-10-like (Figs. 5, 9)",
+        build: FlSystemConfig::cifar_cnn,
+    },
+    Component {
+        name: "imagenet_vgg",
+        summary: "VGG-16 surrogate on ImageNet-100-like (Fig. 6)",
+        build: FlSystemConfig::imagenet_vgg,
+    },
+];
+
+const DATASETS: &[Component<SyntheticSpec>] = &[
+    Component {
+        name: "mnist_like",
+        summary: "10-class MNIST-like synthetic mixture",
+        build: SyntheticSpec::mnist_like,
+    },
+    Component {
+        name: "cifar10_like",
+        summary: "10-class CIFAR-10-like synthetic mixture (harder)",
+        build: SyntheticSpec::cifar10_like,
+    },
+    Component {
+        name: "imagenet100_like",
+        summary: "100-class ImageNet-100-like synthetic mixture",
+        build: SyntheticSpec::imagenet100_like,
+    },
+];
+
+const MODELS: &[(&str, &str, ModelKind)] = &[
+    (
+        "paper_lr",
+        "the paper's \"LR\": 2-hidden-layer fully-connected net",
+        ModelKind::PaperLr,
+    ),
+    ("cnn_mnist", "CNN surrogate for MNIST", ModelKind::CnnMnist),
+    (
+        "cnn_cifar",
+        "CNN surrogate for CIFAR-10",
+        ModelKind::CnnCifar,
+    ),
+    ("vgg16", "VGG-16 surrogate", ModelKind::Vgg16),
+    (
+        "convex_lr",
+        "plain convex multinomial logistic regression",
+        ModelKind::ConvexLr,
+    ),
+];
+
+const MECHANISMS: &[(&str, &str, MechanismChoice)] = &[
+    (
+        "air-fedga",
+        "the paper's contribution (Algorithms 1-3)",
+        MechanismChoice::AirFedGa,
+    ),
+    (
+        "air-fedavg",
+        "AirComp synchronous baseline",
+        MechanismChoice::AirFedAvg,
+    ),
+    (
+        "dynamic",
+        "AirComp synchronous with per-round worker scheduling",
+        MechanismChoice::Dynamic,
+    ),
+    (
+        "fedavg",
+        "OMA synchronous baseline",
+        MechanismChoice::FedAvg,
+    ),
+    (
+        "tifl",
+        "OMA tier-asynchronous baseline",
+        MechanismChoice::TiFl,
+    ),
+];
+
+/// The built-in component registry. A zero-sized handle today (the catalogue
+/// is static), but every lookup goes through it so a future PR can layer
+/// user-registered components on top without touching call sites.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Registry;
+
+impl Registry {
+    /// The built-in catalogue.
+    pub fn builtin() -> Self {
+        Registry
+    }
+
+    fn lookup<T>(kind: &str, key: &str, table: &[Component<T>]) -> Result<T, ScenarioError> {
+        table
+            .iter()
+            .find(|c| c.name == key)
+            .map(|c| (c.build)())
+            .ok_or_else(|| {
+                ScenarioError::new(format!(
+                    "unknown {kind} {key:?}; available: {}",
+                    table.iter().map(|c| c.name).collect::<Vec<_>>().join(", ")
+                ))
+            })
+    }
+
+    /// A whole-workload preset (`[system] workload = "..."`).
+    pub fn workload(&self, key: &str) -> Result<FlSystemConfig, ScenarioError> {
+        Self::lookup("workload", key, WORKLOADS)
+    }
+
+    /// A dataset family (`[system] dataset = "..."`).
+    pub fn dataset(&self, key: &str) -> Result<SyntheticSpec, ScenarioError> {
+        Self::lookup("dataset", key, DATASETS)
+    }
+
+    /// A model family (`[system] model = "..."`).
+    pub fn model(&self, key: &str) -> Result<ModelKind, ScenarioError> {
+        MODELS
+            .iter()
+            .find(|(n, _, _)| *n == key)
+            .map(|(_, _, kind)| *kind)
+            .ok_or_else(|| {
+                ScenarioError::new(format!(
+                    "unknown model {key:?}; available: {}",
+                    MODELS
+                        .iter()
+                        .map(|(n, _, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })
+    }
+
+    /// A mechanism (`[run] mechanisms = [...]`). Accepts the registry key or
+    /// the paper-legend label, case-insensitively and ignoring `-`/`_`/space
+    /// (so `"Air-FedGA"`, `"air_fedga"` and `"airfedga"` all resolve).
+    pub fn mechanism(&self, key: &str) -> Result<MechanismChoice, ScenarioError> {
+        let norm = |s: &str| {
+            s.chars()
+                .filter(|c| !matches!(c, '-' | '_' | ' '))
+                .collect::<String>()
+                .to_ascii_lowercase()
+        };
+        let wanted = norm(key);
+        MECHANISMS
+            .iter()
+            .find(|(n, _, choice)| norm(n) == wanted || norm(choice.label()) == wanted)
+            .map(|(_, _, choice)| *choice)
+            .ok_or_else(|| {
+                ScenarioError::new(format!(
+                    "unknown mechanism {key:?}; available: {}",
+                    MECHANISMS
+                        .iter()
+                        .map(|(n, _, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })
+    }
+
+    /// A partitioner (`[system] partitioner = "..."`): `label_skew`, `iid`,
+    /// or `dirichlet:<alpha>`.
+    pub fn partitioner(&self, key: &str) -> Result<Partitioner, ScenarioError> {
+        match key {
+            "label_skew" => Ok(Partitioner::LabelSkew),
+            "iid" => Ok(Partitioner::Iid),
+            _ => {
+                if let Some(alpha) = key.strip_prefix("dirichlet:") {
+                    let alpha: f64 = alpha.parse().map_err(|_| {
+                        ScenarioError::new(format!(
+                            "invalid dirichlet alpha {alpha:?} in partitioner {key:?}"
+                        ))
+                    })?;
+                    if alpha <= 0.0 || !alpha.is_finite() {
+                        return Err(ScenarioError::new(format!(
+                            "dirichlet alpha must be a positive finite number, got {alpha}"
+                        )));
+                    }
+                    Ok(Partitioner::Dirichlet { alpha })
+                } else {
+                    Err(ScenarioError::new(format!(
+                        "unknown partitioner {key:?}; available: label_skew, iid, \
+                         dirichlet:<alpha>"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// A heterogeneity model (`[system] heterogeneity = "..."`):
+    /// `homogeneous`, `uniform` (the paper's `U[1, 10]`), or
+    /// `uniform:<lo>:<hi>`.
+    pub fn heterogeneity(&self, key: &str) -> Result<HeterogeneityModel, ScenarioError> {
+        match key {
+            "homogeneous" => Ok(HeterogeneityModel::Homogeneous),
+            "uniform" => Ok(HeterogeneityModel::default()),
+            _ => {
+                if let Some(rest) = key.strip_prefix("uniform:") {
+                    let parts: Vec<&str> = rest.split(':').collect();
+                    let bounds: Option<(f64, f64)> = match parts.as_slice() {
+                        [lo, hi] => lo.parse().ok().zip(hi.parse().ok()),
+                        _ => None,
+                    };
+                    match bounds {
+                        Some((lo, hi)) if lo > 0.0 && hi >= lo => {
+                            Ok(HeterogeneityModel::Uniform { lo, hi })
+                        }
+                        _ => Err(ScenarioError::new(format!(
+                            "invalid uniform heterogeneity bounds in {key:?} \
+                             (expected uniform:<lo>:<hi> with 0 < lo <= hi)"
+                        ))),
+                    }
+                } else {
+                    Err(ScenarioError::new(format!(
+                        "unknown heterogeneity {key:?}; available: homogeneous, uniform, \
+                         uniform:<lo>:<hi>"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// A wireless channel preset (`[system] channel = "..."`); the presets
+    /// live with the physical-layer constants in
+    /// [`wireless::timing::WirelessConfig::preset`].
+    pub fn channel(&self, key: &str) -> Result<WirelessConfig, ScenarioError> {
+        WirelessConfig::preset(key).ok_or_else(|| {
+            ScenarioError::new(format!(
+                "unknown channel preset {key:?}; available: {}",
+                WirelessConfig::preset_names().join(", ")
+            ))
+        })
+    }
+
+    /// Human-readable catalogue for `airfedga-run --list-components`.
+    pub fn describe(&self) -> String {
+        let mut out = String::from("Scenario registry components\n");
+        let mut section = |title: &str, rows: Vec<(String, String)>| {
+            out.push_str(&format!("\n{title}\n"));
+            let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, summary) in rows {
+                out.push_str(&format!("  {name:<width$}  {summary}\n"));
+            }
+        };
+        section(
+            "[system] workload =",
+            WORKLOADS
+                .iter()
+                .map(|c| (c.name.to_string(), c.summary.to_string()))
+                .collect(),
+        );
+        section(
+            "[system] dataset =",
+            DATASETS
+                .iter()
+                .map(|c| (c.name.to_string(), c.summary.to_string()))
+                .collect(),
+        );
+        section(
+            "[system] model =",
+            MODELS
+                .iter()
+                .map(|(n, s, _)| (n.to_string(), s.to_string()))
+                .collect(),
+        );
+        section(
+            "[system] partitioner =",
+            vec![
+                (
+                    "label_skew".to_string(),
+                    "the paper's single-label shards (§VI.A.1)".to_string(),
+                ),
+                (
+                    "iid".to_string(),
+                    "shuffled, evenly dealt shards".to_string(),
+                ),
+                (
+                    "dirichlet:<alpha>".to_string(),
+                    "Dirichlet label proportions; smaller alpha = more skew".to_string(),
+                ),
+            ],
+        );
+        section(
+            "[system] heterogeneity =",
+            vec![
+                (
+                    "uniform".to_string(),
+                    "the paper's k_i ~ U[1, 10] latency scaling".to_string(),
+                ),
+                (
+                    "uniform:<lo>:<hi>".to_string(),
+                    "custom uniform latency-scaling bounds".to_string(),
+                ),
+                (
+                    "homogeneous".to_string(),
+                    "identical workers (isolates Non-IID effects)".to_string(),
+                ),
+            ],
+        );
+        section(
+            "[system] channel =",
+            WirelessConfig::preset_names()
+                .iter()
+                .map(|n| {
+                    (
+                        n.to_string(),
+                        "wireless preset (see wireless::timing docs)".to_string(),
+                    )
+                })
+                .collect(),
+        );
+        section(
+            "[run] mechanisms =",
+            MECHANISMS
+                .iter()
+                .map(|(n, s, _)| (n.to_string(), s.to_string()))
+                .collect(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalogue_entry_builds() {
+        let r = Registry::builtin();
+        for c in WORKLOADS {
+            assert_eq!(
+                r.workload(c.name).unwrap().dataset.name,
+                (c.build)().dataset.name
+            );
+        }
+        for c in DATASETS {
+            assert_eq!(r.dataset(c.name).unwrap().name, (c.build)().name);
+        }
+        for (name, _, kind) in MODELS {
+            assert_eq!(r.model(name).unwrap(), *kind);
+        }
+        for (name, _, choice) in MECHANISMS {
+            assert_eq!(r.mechanism(name).unwrap(), *choice);
+        }
+        for name in WirelessConfig::preset_names() {
+            r.channel(name).unwrap();
+        }
+    }
+
+    #[test]
+    fn mechanism_names_match_labels_and_spellings() {
+        let r = Registry::builtin();
+        for key in ["Air-FedGA", "air_fedga", "airfedga", "AIR-FEDGA"] {
+            assert_eq!(r.mechanism(key).unwrap(), MechanismChoice::AirFedGa);
+        }
+        assert_eq!(r.mechanism("TiFL").unwrap(), MechanismChoice::TiFl);
+    }
+
+    #[test]
+    fn parameterised_keys_parse() {
+        let r = Registry::builtin();
+        assert_eq!(
+            r.partitioner("dirichlet:0.5").unwrap(),
+            Partitioner::Dirichlet { alpha: 0.5 }
+        );
+        assert_eq!(r.partitioner("iid").unwrap(), Partitioner::Iid);
+        assert_eq!(
+            r.heterogeneity("uniform:2:4").unwrap(),
+            HeterogeneityModel::Uniform { lo: 2.0, hi: 4.0 }
+        );
+        assert_eq!(
+            r.heterogeneity("homogeneous").unwrap(),
+            HeterogeneityModel::Homogeneous
+        );
+    }
+
+    #[test]
+    fn unknown_keys_list_the_alternatives() {
+        let r = Registry::builtin();
+        let err = r.workload("mnist").unwrap_err();
+        assert!(err.msg.contains("mnist_lr"), "{}", err.msg);
+        assert!(err.msg.contains("cifar_cnn"), "{}", err.msg);
+        assert!(r.partitioner("dirichlet:x").is_err());
+        assert!(r.partitioner("dirichlet:-1").is_err());
+        assert!(r.heterogeneity("uniform:5:1").is_err());
+        assert!(r
+            .mechanism("fedprox")
+            .unwrap_err()
+            .msg
+            .contains("air-fedga"));
+    }
+
+    #[test]
+    fn describe_lists_every_section() {
+        let text = Registry::builtin().describe();
+        for needle in [
+            "workload",
+            "mnist_lr",
+            "dataset",
+            "model",
+            "partitioner",
+            "dirichlet:<alpha>",
+            "heterogeneity",
+            "channel",
+            "mechanisms",
+            "air-fedga",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

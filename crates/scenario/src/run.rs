@@ -1,0 +1,366 @@
+//! Executing a validated [`ScenarioSpec`].
+//!
+//! The figure-shaped kinds (`time_accuracy`, `xi_sweep`, `scalability`)
+//! dispatch straight into the shared `experiments` drivers — the same code
+//! paths the legacy figure binaries call, so a scenario that reproduces a
+//! figure is byte-identical to the binary. The generic `grid` kind expands
+//! the sweep cross-product ([`crate::spec::expand_grid`]) and fans the flat
+//! `(cell × seed)` list through `harness::run_replicated`, printing a
+//! summary table and writing `<csv_prefix>_grid.csv`.
+//!
+//! CLI precedence: the `--seeds N` and `--system-seeds` flags override the
+//! spec's `run.seeds` / `run.system_seeds` keys, and `AIRFEDGA_SCALE`
+//! selects the scale exactly as it does for the figure binaries.
+
+use crate::spec::{expand_grid, GridCell, ScenarioKind, ScenarioSpec};
+use crate::ScenarioError;
+use experiments::figures::{print_speedups, run_time_accuracy_figure, FigureParams};
+use experiments::harness::run_replicated;
+use experiments::harness::RunSummary;
+use experiments::report::{fmt_opt_secs, fmt_secs, try_write_csv, Table};
+use experiments::scale::{seeds_flag_opt, system_seeds_flag, Scale};
+use experiments::sweeps::{
+    build_sweep_mechanism, fmt_xi, run_scalability, run_xi_sweep, ScalabilityFigure, XiSweepFigure,
+};
+use fedml::rng::Rng64;
+
+/// The command-line overrides a driver binary may apply on top of a spec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CliOverrides {
+    /// `--seeds N`, overriding the spec's `run.seeds`.
+    pub seeds: Option<usize>,
+    /// `--system-seeds`, OR-ed with the spec's `run.system_seeds`.
+    pub system_seeds: bool,
+}
+
+impl CliOverrides {
+    /// Parse the overrides from the process arguments.
+    pub fn from_args() -> Self {
+        Self {
+            seeds: seeds_flag_opt(),
+            system_seeds: system_seeds_flag(),
+        }
+    }
+}
+
+/// Resolve the spec + scale + CLI overrides into the shared driver bundle.
+fn figure_params(spec: &ScenarioSpec, scale: Scale, cli: &CliOverrides) -> FigureParams {
+    FigureParams {
+        scale,
+        num_seeds: cli.seeds.unwrap_or(spec.num_seeds),
+        vary_system: cli.system_seeds || spec.vary_system,
+        run_seed: spec.run_seed,
+        system_seed: spec.system_seed,
+        num_workers: spec.num_workers,
+        total_rounds: spec.rounds,
+        eval_every: spec.eval_every,
+        max_virtual_time: spec.max_virtual_time,
+    }
+}
+
+/// Execute a validated scenario at the given scale with the given CLI
+/// overrides. Prints and writes exactly what the equivalent figure binary
+/// would (no extra banners — output stays byte-comparable).
+pub fn execute(spec: &ScenarioSpec, scale: Scale, cli: &CliOverrides) {
+    let params = figure_params(spec, scale, cli);
+    match spec.kind {
+        ScenarioKind::TimeAccuracy => {
+            let outcome = run_time_accuracy_figure(
+                &spec.title,
+                spec.base_config.clone(),
+                &spec.mechanisms,
+                &spec.accuracy_targets,
+                &spec.csv_prefix,
+                &params,
+            );
+            if let Some(target) = spec.speedup_target {
+                print_speedups(&outcome, target);
+            }
+        }
+        ScenarioKind::XiSweep => run_xi_sweep(
+            &XiSweepFigure {
+                title: spec.title.clone(),
+                workload: spec.base_config.clone(),
+                xis: spec.sweep_xi.clone(),
+                targets: spec.accuracy_targets.clone(),
+                csv_name: format!("{}_xi_sweep.csv", spec.csv_prefix),
+                rounds_factor: 2,
+            },
+            &params,
+        ),
+        ScenarioKind::Scalability => run_scalability(
+            &ScalabilityFigure {
+                title: spec.title.clone(),
+                workload: spec.base_config.clone(),
+                worker_counts: spec.sweep_num_workers.clone(),
+                per_worker_samples: spec.per_worker_samples,
+                target: spec.accuracy_targets[0],
+                mechanisms: spec.mechanisms.clone(),
+                csv_name: format!("{}_scalability.csv", spec.csv_prefix),
+            },
+            &params,
+        ),
+        ScenarioKind::Grid => run_grid_scenario(spec, &params),
+    }
+}
+
+/// Parse and execute a scenario document with the binary defaults: scale
+/// from `AIRFEDGA_SCALE`, overrides from the command line. The entry point
+/// of `airfedga-run` and of the thin figure wrappers.
+pub fn run_scenario_str(src: &str) -> Result<(), ScenarioError> {
+    let spec = ScenarioSpec::parse(src)?;
+    execute(&spec, Scale::from_env(), &CliOverrides::from_args());
+    Ok(())
+}
+
+/// The generic cross-product sweep: every [`GridCell`] builds its own system
+/// (axes may change the worker count) and runs its mechanism, with the flat
+/// `(cell × seed)` product fanned across the persistent pool. Cells derive
+/// all randomness from their own `(system_seed, run_seed)`, so the grid is
+/// bit-identical to the sequential double loop at any thread count / chunk
+/// factor.
+fn run_grid_scenario(spec: &ScenarioSpec, params: &FigureParams) {
+    let scale = params.scale;
+    let plan = params.plan();
+    let seeds = plan.run_seeds.clone();
+    let base = params.apply(spec.base_config.clone());
+    let rounds = params.rounds();
+    let eval_every = params.eval();
+    let cells = expand_grid(spec);
+
+    println!(
+        "{}\n  workload: {} | {} cells | {} rounds | {} seed(s) (scale: {scale:?})",
+        spec.title,
+        base.dataset.name,
+        cells.len(),
+        rounds,
+        seeds.len()
+    );
+    if plan.vary_system {
+        println!(
+            "  system re-sampled per replicate (system seeds {}..{})",
+            plan.system_seed,
+            plan.system_seed + (seeds.len() as u64 - 1)
+        );
+    }
+
+    // Only the worker-count axis affects the system build (xi and the
+    // mechanism act at run time), so with a fixed system seed the distinct
+    // systems are one per worker count — build each once and share it
+    // across cells and replicates. Under `--system-seeds` every replicate
+    // needs its own sample, so cells build inline instead.
+    let cfg_for = |n: Option<usize>| {
+        let mut cfg = base.clone();
+        if let Some(n) = n {
+            cfg.num_workers = n;
+        }
+        cfg
+    };
+    let mut distinct_ns: Vec<Option<usize>> = Vec::new();
+    for cell in &cells {
+        if !distinct_ns.contains(&cell.num_workers) {
+            distinct_ns.push(cell.num_workers);
+        }
+    }
+    let shared: Vec<airfedga::system::FlSystem> = if plan.vary_system {
+        Vec::new()
+    } else {
+        distinct_ns
+            .iter()
+            .map(|&n| cfg_for(n).build(&mut Rng64::seed_from(plan.system_seed)))
+            .collect()
+    };
+    let stats = run_replicated(cells.clone(), &seeds, |cell: &GridCell, seed| {
+        let mech = build_sweep_mechanism(
+            cell.mechanism,
+            cell.xi,
+            rounds,
+            eval_every,
+            params.max_virtual_time,
+        );
+        if plan.vary_system {
+            let system =
+                cfg_for(cell.num_workers).build(&mut Rng64::seed_from(plan.system_seed_for(seed)));
+            RunSummary::from_trace(mech.run(&system, &mut Rng64::seed_from(seed)))
+        } else {
+            let idx = distinct_ns
+                .iter()
+                .position(|&n| n == cell.num_workers)
+                .expect("cell worker count is in distinct_ns by construction");
+            RunSummary::from_trace(mech.run(&shared[idx], &mut Rng64::seed_from(seed)))
+        }
+    });
+
+    let replicated = seeds.len() > 1;
+    let has_n = spec.sweep_num_workers.is_some();
+    let has_xi = spec.sweep_xi.is_some();
+    let mut header: Vec<String> = Vec::new();
+    let mut csv_header: Vec<String> = Vec::new();
+    if has_n {
+        header.push("N".to_string());
+        csv_header.push("n".to_string());
+    }
+    if has_xi {
+        header.push("xi".to_string());
+        csv_header.push("xi".to_string());
+    }
+    header.push("mechanism".to_string());
+    csv_header.push("mechanism".to_string());
+    if replicated {
+        csv_header.push("seeds".to_string());
+    }
+    for label in ["final acc", "final loss", "avg round (s)", "total time (s)"] {
+        header.push(label.to_string());
+    }
+    if replicated {
+        for stem in ["final_acc", "final_loss", "avg_round_s", "total_time_s"] {
+            csv_header.push(format!("{stem}_mean"));
+            csv_header.push(format!("{stem}_std"));
+        }
+    } else {
+        for stem in ["final_acc", "final_loss", "avg_round_s", "total_time_s"] {
+            csv_header.push(stem.to_string());
+        }
+    }
+    for t in &spec.accuracy_targets {
+        header.push(format!("t@{:.0}% (s)", t * 100.0));
+        let pct = t * 100.0;
+        if replicated {
+            csv_header.push(format!("t{pct:.0}_mean"));
+            csv_header.push(format!("t{pct:.0}_std"));
+            csv_header.push(format!("t{pct:.0}_n"));
+        } else {
+            csv_header.push(format!("t{pct:.0}"));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&spec.title, &header_refs);
+    let mut csv = csv_header.join(",");
+    csv.push('\n');
+
+    for (cell, stat) in cells.iter().zip(&stats) {
+        let mut row: Vec<String> = Vec::new();
+        let mut csv_row: Vec<String> = Vec::new();
+        if has_n {
+            let n = cell.num_workers.expect("has_n implies a worker count");
+            row.push(n.to_string());
+            csv_row.push(n.to_string());
+        }
+        if has_xi {
+            let xi = cell.xi.expect("has_xi implies a xi value");
+            row.push(fmt_xi(xi));
+            csv_row.push(fmt_xi(xi));
+        }
+        row.push(stat.mechanism.clone());
+        csv_row.push(stat.mechanism.clone());
+        if replicated {
+            csv_row.push(seeds.len().to_string());
+            let acc = stat.final_accuracy_stats();
+            let loss = stat.final_loss_stats();
+            let round = stat.average_round_time_stats();
+            let last = stat.points.last().expect("grid trace is non-empty");
+            row.push(acc.fmt_mean_std(3));
+            row.push(loss.fmt_mean_std(3));
+            row.push(round.fmt_mean_std(1));
+            row.push(last.time.fmt_mean_std(0));
+            for s in [&acc, &loss] {
+                csv_row.push(format!("{:.4}", s.mean));
+                csv_row.push(format!("{:.4}", s.std));
+            }
+            for s in [&round, &last.time] {
+                csv_row.push(format!("{:.2}", s.mean));
+                csv_row.push(format!("{:.2}", s.std));
+            }
+            for t in &spec.accuracy_targets {
+                let s = stat.time_to_accuracy_stats(*t);
+                row.push(s.fmt_with_count(0, seeds.len()));
+                csv_row.push(s.csv_fields(1));
+            }
+        } else {
+            let s = stat.first();
+            row.push(format!("{:.3}", s.final_accuracy));
+            row.push(format!("{:.3}", s.final_loss));
+            row.push(fmt_secs(s.average_round_time));
+            row.push(fmt_secs(s.total_time));
+            csv_row.push(format!("{:.4}", s.final_accuracy));
+            csv_row.push(format!("{:.4}", s.final_loss));
+            csv_row.push(format!("{:.2}", s.average_round_time));
+            csv_row.push(format!("{:.2}", s.total_time));
+            for t in &spec.accuracy_targets {
+                let tta = s.time_to_accuracy(*t);
+                row.push(fmt_opt_secs(tta));
+                csv_row.push(tta.map(|t| format!("{t:.1}")).unwrap_or_default());
+            }
+        }
+        table.add_row(row);
+        csv.push_str(&csv_row.join(","));
+        csv.push('\n');
+    }
+    println!("{}", table.render());
+    try_write_csv(&format!("{}_grid.csv", spec.csv_prefix), &csv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end smoke: a tiny grid scenario runs green from the spec text
+    /// alone, exercising parse → validate → expand → replicated run → report.
+    #[test]
+    fn tiny_grid_scenario_runs_end_to_end() {
+        let src = r#"
+[scenario]
+name = "test_scenario_grid"
+kind = "grid"
+title = "test grid scenario"
+
+[system]
+workload = "mnist_lr_quick"
+
+[run]
+mechanisms = ["air-fedavg", "air-fedga"]
+accuracy_targets = [0.5]
+rounds = 4
+eval_every = 2
+
+[sweep]
+xi = [0.3, 1.0]
+"#;
+        let spec = ScenarioSpec::parse(src).unwrap();
+        execute(&spec, Scale::Quick, &CliOverrides::default());
+        // And replicated, with system re-sampling.
+        execute(
+            &spec,
+            Scale::Quick,
+            &CliOverrides {
+                seeds: Some(2),
+                system_seeds: true,
+            },
+        );
+    }
+
+    /// A time_accuracy scenario with registry components no figure binary
+    /// exposes (Dirichlet partition + OMA baselines on quick LR).
+    #[test]
+    fn novel_time_accuracy_combination_runs() {
+        let src = r#"
+[scenario]
+name = "test_scenario_dirichlet"
+kind = "time_accuracy"
+title = "test dirichlet scenario"
+
+[system]
+workload = "mnist_lr_quick"
+partitioner = "dirichlet:0.5"
+
+[run]
+mechanisms = ["fedavg", "tifl"]
+accuracy_targets = [0.5]
+rounds = 4
+eval_every = 2
+speedup_target = 0.5
+"#;
+        let spec = ScenarioSpec::parse(src).unwrap();
+        execute(&spec, Scale::Quick, &CliOverrides::default());
+    }
+}

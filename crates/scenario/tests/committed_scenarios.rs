@@ -1,0 +1,98 @@
+//! Every committed scenario under `scenarios/` must parse, validate, and
+//! carry the shape its figure (or novel workload) expects — a spec that
+//! drifts from the registry or the format fails here, not at run time in CI.
+
+use experiments::harness::MechanismChoice;
+use scenario::spec::expand_grid;
+use scenario::{ScenarioKind, ScenarioSpec};
+
+const FIG3: &str = include_str!("../../../scenarios/fig3.toml");
+const FIG8: &str = include_str!("../../../scenarios/fig8.toml");
+const FIG10: &str = include_str!("../../../scenarios/fig10.toml");
+const JOINT: &str = include_str!("../../../scenarios/joint_xi_workers.toml");
+const DIRICHLET: &str = include_str!("../../../scenarios/dirichlet_cifar_all.toml");
+
+#[test]
+fn every_committed_scenario_parses_and_validates() {
+    for (name, src) in [
+        ("fig3", FIG3),
+        ("fig8", FIG8),
+        ("fig10", FIG10),
+        ("joint_xi_workers", JOINT),
+        ("dirichlet_cifar_all", DIRICHLET),
+    ] {
+        let spec = ScenarioSpec::parse(src)
+            .unwrap_or_else(|e| panic!("scenarios/{name}.toml failed to parse: {e}"));
+        assert_eq!(spec.name, name, "scenario name must match its file name");
+    }
+}
+
+#[test]
+fn fig3_spec_matches_the_historical_binary_shape() {
+    let spec = ScenarioSpec::parse(FIG3).unwrap();
+    assert_eq!(spec.kind, ScenarioKind::TimeAccuracy);
+    assert_eq!(
+        spec.title,
+        "Fig. 3: LR on MNIST-like (loss/accuracy vs time)"
+    );
+    assert_eq!(spec.csv_prefix, "fig3");
+    // The historical aircomp trio, in the paper's comparison order.
+    assert_eq!(
+        spec.mechanisms,
+        vec![
+            MechanismChoice::Dynamic,
+            MechanismChoice::AirFedAvg,
+            MechanismChoice::AirFedGa
+        ]
+    );
+    assert_eq!(spec.accuracy_targets, vec![0.8, 0.85, 0.9]);
+    assert_eq!(spec.speedup_target, Some(0.8));
+    // Historical seeds: system 42, run 4242, single replicate.
+    assert_eq!(spec.system_seed, 42);
+    assert_eq!(spec.run_seed, 4242);
+    assert_eq!(spec.num_seeds, 1);
+    assert!(!spec.vary_system);
+    // The workload preset is the paper's headline config.
+    assert_eq!(spec.base_config.num_workers, 100);
+    assert_eq!(spec.base_config.dataset.name, "mnist-like");
+}
+
+#[test]
+fn fig8_and_fig10_keep_scale_dependent_default_grids() {
+    let fig8 = ScenarioSpec::parse(FIG8).unwrap();
+    assert_eq!(fig8.kind, ScenarioKind::XiSweep);
+    assert!(
+        fig8.sweep_xi.is_none(),
+        "fig8 must use the scale default grid"
+    );
+    assert!(fig8.mechanisms.is_empty());
+
+    let fig10 = ScenarioSpec::parse(FIG10).unwrap();
+    assert_eq!(fig10.kind, ScenarioKind::Scalability);
+    assert!(fig10.sweep_num_workers.is_none());
+    assert_eq!(fig10.mechanisms.len(), 5);
+    assert_eq!(fig10.mechanisms[0], MechanismChoice::FedAvg);
+    assert_eq!(fig10.accuracy_targets, vec![0.8]);
+    assert_eq!(fig10.per_worker_samples, 30);
+}
+
+#[test]
+fn novel_scenarios_cover_combinations_no_binary_exposes() {
+    let joint = ScenarioSpec::parse(JOINT).unwrap();
+    assert_eq!(joint.kind, ScenarioKind::Grid);
+    let cells = expand_grid(&joint);
+    // 2 worker counts x 3 xi x 2 mechanisms, N outermost.
+    assert_eq!(cells.len(), 12);
+    assert_eq!(cells[0].num_workers, Some(10));
+    assert_eq!(cells[11].num_workers, Some(16));
+    assert_eq!(cells[11].xi, Some(0.8));
+    assert_eq!(cells[11].mechanism, MechanismChoice::AirFedGa);
+
+    let dirichlet = ScenarioSpec::parse(DIRICHLET).unwrap();
+    assert_eq!(dirichlet.kind, ScenarioKind::TimeAccuracy);
+    assert_eq!(dirichlet.mechanisms.len(), 5);
+    assert_eq!(
+        dirichlet.base_config.partitioner,
+        fedml::partition::Partitioner::Dirichlet { alpha: 0.3 }
+    );
+}

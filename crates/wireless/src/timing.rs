@@ -66,6 +66,43 @@ impl Default for WirelessConfig {
 }
 
 impl WirelessConfig {
+    /// Named physical-layer presets, the string-keyed channel components of
+    /// the scenario registry. Returns `None` for an unknown name (see
+    /// [`WirelessConfig::preset_names`]).
+    ///
+    /// * `"paper"` — the paper's §VI.A.2 constants verbatim (`σ₀² = 1 W`).
+    /// * `"calibrated"` — the paper's constants with the noise variance
+    ///   scaled to `10⁻⁵ W`, matching the surrogate-model calibration the
+    ///   figure workloads use (see `FlSystemConfig::mnist_lr`).
+    /// * `"noisy"` — the calibrated preset with 100× the noise power, for
+    ///   stress scenarios probing AirComp error sensitivity.
+    /// * `"wideband"` — 10× bandwidth and 4× sub-channels, shrinking both
+    ///   OMA upload and AirComp aggregation latencies.
+    pub fn preset(name: &str) -> Option<WirelessConfig> {
+        match name {
+            "paper" => Some(Self::default()),
+            "calibrated" => Some(Self {
+                noise_variance: 1.0e-5,
+                ..Self::default()
+            }),
+            "noisy" => Some(Self {
+                noise_variance: 1.0e-3,
+                ..Self::default()
+            }),
+            "wideband" => Some(Self {
+                bandwidth_hz: 1.0e7,
+                subchannels: 1024,
+                ..Self::default()
+            }),
+            _ => None,
+        }
+    }
+
+    /// The names [`WirelessConfig::preset`] accepts.
+    pub fn preset_names() -> &'static [&'static str] {
+        &["paper", "calibrated", "noisy", "wideband"]
+    }
+
     /// Panic with a descriptive message on inconsistent constants.
     pub fn validate(&self) {
         assert!(self.bandwidth_hz > 0.0, "bandwidth must be positive");
@@ -141,6 +178,24 @@ mod tests {
         assert_eq!(c.bandwidth_hz, 1.0e6);
         assert_eq!(c.noise_variance, 1.0);
         assert_eq!(c.energy_budget, 10.0);
+    }
+
+    #[test]
+    fn presets_cover_every_listed_name_and_validate() {
+        for name in WirelessConfig::preset_names() {
+            let c = WirelessConfig::preset(name)
+                .unwrap_or_else(|| panic!("listed preset {name:?} missing"));
+            c.validate();
+        }
+        assert_eq!(
+            WirelessConfig::preset("paper"),
+            Some(WirelessConfig::default())
+        );
+        assert_eq!(
+            WirelessConfig::preset("calibrated").unwrap().noise_variance,
+            1.0e-5
+        );
+        assert!(WirelessConfig::preset("nonsense").is_none());
     }
 
     #[test]

@@ -11,13 +11,18 @@
 //! * [`grouping`] — EMD, the grouping objective and Algorithm 3.
 //! * [`airfedga`] — the Air-FedGA mechanism (Algorithm 1) and Theorem-1 bound.
 //! * [`baselines`] — FedAvg, TiFL, Air-FedAvg and Dynamic comparators.
+//! * [`experiments`] — the shared figure/sweep drivers and replication stats.
+//! * [`scenario`] — declarative scenario specs (TOML subset + component
+//!   registry) behind the `airfedga-run` driver binary.
 
 #![forbid(unsafe_code)]
 
 pub use airfedga;
 pub use baselines;
+pub use experiments;
 pub use fedml;
 pub use grouping;
+pub use scenario;
 pub use simcore;
 pub use wireless;
 
