@@ -27,7 +27,7 @@ use grouping::greedy::{greedy_grouping, GreedyGroupingConfig};
 use grouping::objective::{GroupingObjective, ObjectiveConstants};
 use grouping::worker_info::Grouping;
 use simcore::events::EventQueue;
-use simcore::trace::{TracePoint, TrainingTrace};
+use simcore::trace::{FaultEvent, FaultEventKind, TracePoint, TrainingTrace};
 use wireless::aircomp::{
     air_aggregate_indexed_into, apply_group_update_in_place, AirAggregationInput,
     AirAggregationScratch,
@@ -80,6 +80,49 @@ impl EngineOptions {
             assert!(t > 0.0, "max_virtual_time must be positive");
         }
     }
+}
+
+/// Effective latency of group `members` dispatched at `dispatch` under the
+/// system's fault plan: the slowest *up-at-dispatch* member, slowdown-scaled,
+/// capped at the straggler deadline. When nobody is up at dispatch the group
+/// still waits a full (slowdown-scaled) round — it only discovers it has
+/// nothing to aggregate when its ready event fires.
+fn faulty_group_latency(system: &FlSystem, members: &[usize], dispatch: f64) -> f64 {
+    let faults = &system.faults;
+    let scaled = |w: usize| system.local_training_time(w) * faults.slowdown(w);
+    let mut raw = members
+        .iter()
+        .copied()
+        .filter(|&w| faults.available(w, dispatch))
+        .map(scaled)
+        .fold(0.0_f64, f64::max);
+    if raw == 0.0 {
+        raw = members.iter().copied().map(scaled).fold(0.0_f64, f64::max);
+    }
+    match faults.deadline() {
+        Some(d) => raw.min(d),
+        None => raw,
+    }
+}
+
+/// Members of the group dispatched at `dispatch` that actually deliver an
+/// update at `ready`: up at dispatch, up and outage-free at the aggregation
+/// instant, and finished (slowdown included) before the group closed.
+fn faulty_participants(
+    system: &FlSystem,
+    members: &[usize],
+    dispatch: f64,
+    ready: f64,
+    out: &mut Vec<usize>,
+) {
+    let faults = &system.faults;
+    out.clear();
+    out.extend(members.iter().copied().filter(|&w| {
+        faults.available(w, dispatch)
+            && faults.available(w, ready)
+            && !faults.in_outage(w, ready)
+            && dispatch + system.local_training_time(w) * faults.slowdown(w) <= ready + 1e-9
+    }));
 }
 
 /// Simulate group-asynchronous federated learning over `system` with the
@@ -136,10 +179,22 @@ pub fn run_group_async(
     let mut air_scratch = AirAggregationScratch::new();
     let mut pc = PowerControlConfig::for_group(1.0, &[1.0], &[1.0]);
 
+    // Fault bookkeeping. When the plan is disabled (the historical case) the
+    // engine takes exactly the pre-fault code path — same calls, same float
+    // ops — so zero-fault traces stay bit-identical.
+    let fault_on = system.faults.enabled();
+    let mut dispatch_times: Vec<f64> = vec![0.0; m];
+    let mut participants_buf: Vec<usize> = Vec::new();
+
     // Initial dispatch: every group starts local training on w_0 at time 0.
     let mut queue: EventQueue<usize> = EventQueue::new();
     for j in 0..m {
-        queue.push(grouping.group_max_latency(j, &system.worker_infos), j);
+        let latency = if fault_on {
+            faulty_group_latency(system, grouping.group(j), 0.0)
+        } else {
+            grouping.group_max_latency(j, &system.worker_infos)
+        };
+        queue.push(latency, j);
     }
 
     // Record the starting point (round 0).
@@ -157,12 +212,66 @@ pub fn run_group_async(
         let Some((ready_time, j)) = queue.pop() else {
             break;
         };
-        // Upload latency depends on the aggregation back-end.
         let members = grouping.group(j);
+
+        // Who actually delivers an update this round. Fault-free runs use the
+        // full member list (no filtering, no extra work); faulty runs keep the
+        // members that were up at dispatch, finished before the group closed
+        // (deadline and slowdown included) and can upload at aggregation time.
+        let participants: &[usize] = if fault_on {
+            faulty_participants(
+                system,
+                members,
+                dispatch_times[j],
+                ready_time,
+                &mut participants_buf,
+            );
+            trace
+                .faults
+                .record_round(participants_buf.len(), members.len());
+            &participants_buf
+        } else {
+            members
+        };
+
+        data_sizes.clear();
+        data_sizes.extend(participants.iter().map(|&w| system.shards[w].len() as f64));
+        let group_data: f64 = data_sizes.iter().sum();
+
+        // Graceful degradation: when nothing can be aggregated — every member
+        // dropped, deadlined or in outage, or the surviving members hold no
+        // data — skip the global update (no zero-division, no staleness
+        // entry), log the event and re-dispatch the group.
+        if participants.is_empty() || group_data <= 0.0 {
+            trace.faults.record_event(FaultEvent {
+                time: ready_time,
+                round,
+                group: j,
+                kind: FaultEventKind::GroupSkipped,
+            });
+            if let Some(limit) = opts.max_virtual_time {
+                if ready_time > limit {
+                    break;
+                }
+            }
+            dispatch_params[j].clone_from(&global);
+            let next_dispatch = ready_time + wireless.broadcast_latency;
+            let latency = if fault_on {
+                dispatch_times[j] = next_dispatch;
+                faulty_group_latency(system, members, next_dispatch)
+            } else {
+                grouping.group_max_latency(j, &system.worker_infos)
+            };
+            queue.push(next_dispatch + latency, j);
+            continue;
+        }
+
+        // Upload latency depends on the aggregation back-end (and, for OMA,
+        // on how many members actually upload).
         let upload_latency = match opts.aggregation {
             AggregationMode::AirComp { .. } => wireless.aircomp_aggregation_time(model_dim),
             AggregationMode::OmaIdeal { scheme } => {
-                wireless.oma_round_upload_time(scheme, model_dim, members.len())
+                wireless.oma_round_upload_time(scheme, model_dim, participants.len())
             }
         };
         let aggregation_time = ready_time + upload_latency;
@@ -172,14 +281,10 @@ pub fn run_group_async(
             }
         }
 
-        // Local training: every member trains from the model version its
-        // group received at dispatch time, in parallel across the group's
-        // members when enabled.
-        pool.train_members(members, &dispatch_params[j], system, opts.parallel);
-
-        data_sizes.clear();
-        data_sizes.extend(members.iter().map(|&w| system.shards[w].len() as f64));
-        let group_data: f64 = data_sizes.iter().sum();
+        // Local training: every participating member trains from the model
+        // version its group received at dispatch time, in parallel across the
+        // group's members when enabled.
+        pool.train_members(participants, &dispatch_params[j], system, opts.parallel);
 
         // Aggregate the group's local models into the group estimate.
         match opts.aggregation {
@@ -188,8 +293,12 @@ pub fn run_group_async(
                 noise,
             } => {
                 gains.clear();
-                gains.extend(members.iter().map(|&w| system.channel.draw_worker(w, rng)));
-                let norm_bound = members
+                gains.extend(
+                    participants
+                        .iter()
+                        .map(|&w| system.channel.draw_worker(w, rng)),
+                );
+                let norm_bound = participants
                     .iter()
                     .map(|&w| pool.local(w).norm())
                     .fold(0.0_f64, f64::max)
@@ -212,11 +321,11 @@ pub fn run_group_async(
                 // per-round Vec<AirAggregationInput> — this was the last
                 // steady-state allocation on the AirComp path.
                 air_aggregate_indexed_into(
-                    members.len(),
+                    participants.len(),
                     |k| AirAggregationInput {
                         data_size: data_sizes[k],
                         channel_gain: gains[k],
-                        params: pool.local(members[k]),
+                        params: pool.local(participants[k]),
                     },
                     sigma,
                     eta,
@@ -225,16 +334,18 @@ pub fn run_group_async(
                     &mut group_estimate,
                     &mut air_scratch,
                 );
-                for (k, &w) in members.iter().enumerate() {
+                for (k, &w) in participants.iter().enumerate() {
                     ledger.record(w, air_scratch.per_worker_energy[k]);
                 }
                 ledger.finish_round();
             }
             AggregationMode::OmaIdeal { .. } => {
-                // Exact weighted average of the members' local models,
-                // accumulated into the reusable estimate buffer.
+                // Exact weighted average of the participants' local models,
+                // accumulated into the reusable estimate buffer. Weights are
+                // re-normalised over the survivors (`group_data > 0` is
+                // guaranteed by the skip guard above).
                 group_estimate.as_mut_slice().fill(0.0);
-                for (k, &w) in members.iter().enumerate() {
+                for (k, &w) in participants.iter().enumerate() {
                     group_estimate.axpy(data_sizes[k] / group_data, pool.local(w));
                 }
                 ledger.finish_round();
@@ -261,10 +372,14 @@ pub fn run_group_async(
         // Re-dispatch the fresh global model to the group and schedule its
         // next ready event.
         dispatch_params[j].clone_from(&global);
-        let next_ready = aggregation_time
-            + wireless.broadcast_latency
-            + grouping.group_max_latency(j, &system.worker_infos);
-        queue.push(next_ready, j);
+        let next_dispatch = aggregation_time + wireless.broadcast_latency;
+        let latency = if fault_on {
+            dispatch_times[j] = next_dispatch;
+            faulty_group_latency(system, members, next_dispatch)
+        } else {
+            grouping.group_max_latency(j, &system.worker_infos)
+        };
+        queue.push(next_dispatch + latency, j);
     }
     trace
 }
@@ -502,6 +617,115 @@ mod tests {
             assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
             assert_eq!(a.time.to_bits(), b.time.to_bits());
             assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+        }
+    }
+
+    fn churn_system(seed: u64) -> FlSystem {
+        let mut cfg = FlSystemConfig::mnist_lr_quick();
+        cfg.faults = faults::FaultSpec {
+            dropout_rate: 0.002,
+            mean_downtime: 60.0,
+            straggler_fraction: 0.3,
+            straggler_slowdown: 3.0,
+            outage_rate: 0.001,
+            outage_duration: 20.0,
+            deadline: Some(400.0),
+            ..faults::FaultSpec::none()
+        };
+        cfg.build(&mut Rng64::seed_from(seed))
+    }
+
+    #[test]
+    fn churn_run_is_bit_identical_parallel_vs_sequential() {
+        let system = churn_system(30);
+        let grouping = AirFedGa::new(quick_config(1)).grouping_for(&system);
+        let base = EngineOptions {
+            total_rounds: 30,
+            eval_every: 1,
+            max_virtual_time: None,
+            aggregation: AggregationMode::AirComp {
+                power_control: true,
+                noise: true,
+            },
+            parallel: true,
+        };
+        let mut seq_opts = base.clone();
+        seq_opts.parallel = false;
+        let par = run_group_async(&system, &grouping, &base, "par", &mut Rng64::seed_from(31));
+        let seq = run_group_async(
+            &system,
+            &grouping,
+            &seq_opts,
+            "seq",
+            &mut Rng64::seed_from(31),
+        );
+        assert_eq!(par.points().len(), seq.points().len());
+        for (a, b) in par.points().iter().zip(seq.points()) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+        }
+        assert_eq!(par.faults, seq.faults);
+    }
+
+    #[test]
+    fn churn_reduces_participation_but_training_survives() {
+        let system = churn_system(32);
+        let mech = AirFedGa::new(quick_config(40));
+        let trace = mech.run(&system, &mut Rng64::seed_from(33));
+        assert_eq!(trace.faults.rounds_attempted, 40);
+        assert!(
+            trace.faults.participation_rate() < 1.0,
+            "churn at rate 0.002 over a long run should drop someone"
+        );
+        assert!(trace.faults.participation_rate() > 0.2);
+        assert!(trace.faults.rounds_survived() > 0);
+        let initial = trace.points()[0].loss;
+        assert!(
+            trace.final_loss() < initial,
+            "training under churn should still make progress"
+        );
+    }
+
+    #[test]
+    fn fault_free_system_logs_no_faults() {
+        let system = quick_system(34);
+        let mech = AirFedGa::new(quick_config(10));
+        let trace = mech.run(&system, &mut Rng64::seed_from(35));
+        assert!(trace.faults.is_empty());
+        assert_eq!(trace.faults.participation_rate(), 1.0);
+    }
+
+    #[test]
+    fn zero_data_group_is_skipped_instead_of_dividing_by_zero() {
+        // Regression: an isolated worker whose shard is empty used to hit
+        // `data_sizes[k] / group_data` with `group_data == 0` on the OMA path.
+        let mut system = quick_system(36);
+        system.shards[0] = system.shards[0].subset(&[]);
+        system.worker_infos[0].data_size = 0;
+        let n = system.num_workers();
+        // Grouping that isolates the empty worker in its own group.
+        let grouping = Grouping::new(vec![vec![0], (1..n).collect()], n);
+        let opts = EngineOptions {
+            total_rounds: 8,
+            eval_every: 1,
+            max_virtual_time: None,
+            aggregation: AggregationMode::OmaIdeal {
+                scheme: OmaScheme::Tdma,
+            },
+            parallel: false,
+        };
+        let trace = run_group_async(&system, &grouping, &opts, "oma", &mut Rng64::seed_from(37));
+        assert!(
+            trace
+                .faults
+                .events
+                .iter()
+                .any(|e| e.kind == FaultEventKind::GroupSkipped && e.group == 0),
+            "the empty group should be skipped with a trace event"
+        );
+        for p in trace.points() {
+            assert!(p.loss.is_finite(), "zero-data group poisoned the model");
         }
     }
 

@@ -8,6 +8,7 @@
 //! the system identical across mechanisms is what makes the comparisons of
 //! Figs. 3–6 and Fig. 10 fair: only the aggregation strategy differs.
 
+use faults::{FaultPlan, FaultSpec};
 use fedml::dataset::{Dataset, SyntheticSpec};
 use fedml::model::{Model, ModelKind};
 use fedml::optimizer::SgdConfig;
@@ -18,6 +19,10 @@ use simcore::trace::TrainingTrace;
 use simcore::worker::{HeterogeneityModel, WorkerProfile};
 use wireless::channel::ChannelModel;
 use wireless::timing::WirelessConfig;
+
+/// Salt for the fault-plan fork of the system construction stream. Any
+/// value works as long as it is fixed; committed runs depend on it.
+const FAULT_STREAM_SALT: u64 = 0xFA17;
 
 /// Full description of one experimental setup.
 #[derive(Debug, Clone)]
@@ -40,6 +45,9 @@ pub struct FlSystemConfig {
     pub wireless: WirelessConfig,
     /// Local SGD configuration (learning rate `γ`, batch size, epochs).
     pub sgd: SgdConfig,
+    /// Injected fault statistics ([`FaultSpec::none`] by default — the
+    /// historical fault-free system).
+    pub faults: FaultSpec,
 }
 
 impl FlSystemConfig {
@@ -74,6 +82,7 @@ impl FlSystemConfig {
                 batch_size: 16,
                 local_epochs: 1,
             },
+            faults: FaultSpec::none(),
         }
     }
 
@@ -123,6 +132,7 @@ impl FlSystemConfig {
         );
         self.sgd.validate();
         self.wireless.validate();
+        self.faults.validate();
 
         let (train, test) = self.dataset.generate_split(self.test_per_class, rng);
         let shards_idx = self.partitioner.partition(&train, self.num_workers, rng);
@@ -149,6 +159,21 @@ impl FlSystemConfig {
         let template = self
             .model
             .build(train.num_features(), train.num_classes(), rng);
+        // Compile the fault traces LAST, from a salted fork of the
+        // construction stream: the fault axis hangs off the system seed, but
+        // every earlier draw (split, shards, profiles, model init) is
+        // finished, so enabling faults never perturbs the system itself —
+        // and a trivial spec skips the fork entirely, leaving the zero-fault
+        // stream byte-identical to builds that predate fault injection.
+        let faults = if self.faults.is_none() {
+            FaultPlan::none()
+        } else {
+            FaultPlan::compile(
+                &self.faults,
+                self.num_workers,
+                &mut rng.fork(FAULT_STREAM_SALT),
+            )
+        };
         FlSystem {
             config: self.clone(),
             train,
@@ -158,6 +183,7 @@ impl FlSystemConfig {
             worker_infos,
             channel: ChannelModel::default_rayleigh(self.num_workers),
             template,
+            faults,
         }
     }
 }
@@ -182,6 +208,9 @@ pub struct FlSystem {
     pub channel: ChannelModel,
     /// The initial model (also serves as the gradient-evaluation template).
     pub template: Box<dyn Model>,
+    /// Compiled per-worker fault traces ([`FaultPlan::none`] when the config
+    /// injects no faults — the common case, with zero overhead).
+    pub faults: FaultPlan,
 }
 
 impl FlSystem {
@@ -283,6 +312,24 @@ mod tests {
         assert_eq!(FlSystemConfig::cifar_cnn().dataset.num_classes, 10);
         assert_eq!(FlSystemConfig::imagenet_vgg().dataset.num_classes, 100);
         assert_eq!(FlSystemConfig::mnist_cnn().model, ModelKind::CnnMnist);
+    }
+
+    #[test]
+    fn fault_injection_never_perturbs_the_system_itself() {
+        // The fault stream hangs off the END of the construction stream, so
+        // turning churn on must leave shards, profiles and the initial model
+        // bit-identical to the fault-free build from the same seed.
+        let clean_cfg = FlSystemConfig::mnist_lr_quick();
+        let mut churn_cfg = clean_cfg.clone();
+        churn_cfg.faults.dropout_rate = 0.01;
+        churn_cfg.faults.mean_downtime = 40.0;
+        let clean = clean_cfg.build(&mut Rng64::seed_from(11));
+        let churn = churn_cfg.build(&mut Rng64::seed_from(11));
+        assert_eq!(clean.worker_infos, churn.worker_infos);
+        assert_eq!(clean.template.params(), churn.template.params());
+        assert!(!clean.faults.enabled());
+        assert!(churn.faults.enabled());
+        assert_eq!(churn.faults.num_workers(), churn.num_workers());
     }
 
     #[test]

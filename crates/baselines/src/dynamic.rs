@@ -17,7 +17,7 @@ use airfedga::worker_pool::WorkerPool;
 use fedml::params::FlatParams;
 use fedml::rng::Rng64;
 use fedml::workspace::Workspace;
-use simcore::trace::{TracePoint, TrainingTrace};
+use simcore::trace::{FaultEvent, FaultEventKind, TracePoint, TrainingTrace};
 use wireless::aircomp::{
     air_aggregate_indexed_into, apply_group_update_in_place, AirAggregationInput,
     AirAggregationScratch,
@@ -83,16 +83,24 @@ impl Dynamic {
     /// instantaneous channel gains (they can meet the energy budget with the
     /// largest power-scaling factor). Ties break by worker index.
     fn select_workers(gains: &[f64], k: usize) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..gains.len()).collect();
+        let all: Vec<usize> = (0..gains.len()).collect();
+        Self::select_workers_among(&all, gains, k)
+    }
+
+    /// [`Dynamic::select_workers`] restricted to a candidate set — under
+    /// fault injection the scheduler only sees workers that are up when the
+    /// round opens.
+    fn select_workers_among(candidates: &[usize], gains: &[f64], k: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = candidates.to_vec();
         order.sort_by(|&a, &b| {
             gains[b]
                 .partial_cmp(&gains[a])
                 .expect("channel gains are finite")
                 .then(a.cmp(&b))
         });
-        let mut selected = order[..k.min(gains.len())].to_vec();
-        selected.sort_unstable();
-        selected
+        order.truncate(k.min(candidates.len()));
+        order.sort_unstable();
+        order
     }
 }
 
@@ -131,35 +139,106 @@ impl FlMechanism for Dynamic {
             energy: 0.0,
         });
 
+        // Fault bookkeeping (see `run_group_async`): a disabled plan takes
+        // the historical code path bit-for-bit.
+        let fault_on = system.faults.enabled();
+        let mut participants_buf: Vec<usize> = Vec::new();
+
         let mut now = 0.0;
         for round in 1..=cfg.options.total_rounds {
             // The scheduler observes this round's channel gains and selects
-            // the best-channel subset.
+            // the best-channel subset (among the workers that are up, under
+            // fault injection).
             let gains = system.channel.draw_round(rng);
-            let selected = Self::select_workers(&gains, k);
+            let dispatch = now;
+            let selected = if fault_on {
+                let up: Vec<usize> = (0..system.num_workers())
+                    .filter(|&w| system.faults.available(w, dispatch))
+                    .collect();
+                Self::select_workers_among(&up, &gains, k)
+            } else {
+                Self::select_workers(&gains, k)
+            };
 
-            // Synchronous round: selected workers train from the current
-            // global model (in parallel when enabled); the round lasts as
-            // long as the slowest of them.
-            pool.train_members(&selected, &global, system, cfg.options.parallel);
-            let slowest = selected
-                .iter()
-                .map(|&w| system.local_training_time(w))
-                .fold(f64::NEG_INFINITY, f64::max);
-            now += slowest + aggregation_latency + wireless.broadcast_latency;
+            // Synchronous round: the round lasts as long as the slowest
+            // scheduled worker (slowdown-scaled and deadline-capped under
+            // faults; when nobody is up the server still waits a full round
+            // before discovering it has nothing to aggregate).
+            let round_wait = if fault_on {
+                let faults = &system.faults;
+                let scaled = |w: usize| system.local_training_time(w) * faults.slowdown(w);
+                let mut wait = selected.iter().copied().map(scaled).fold(0.0_f64, f64::max);
+                if wait == 0.0 {
+                    wait = (0..system.num_workers())
+                        .map(scaled)
+                        .fold(0.0_f64, f64::max);
+                }
+                match faults.deadline() {
+                    Some(d) => wait.min(d),
+                    None => wait,
+                }
+            } else {
+                selected
+                    .iter()
+                    .map(|&w| system.local_training_time(w))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            };
+            let ready = dispatch + round_wait;
+
+            // Who actually delivers an update: still up and outage-free at
+            // aggregation time and finished before the deadline closed.
+            let participants: &[usize] = if fault_on {
+                let faults = &system.faults;
+                participants_buf.clear();
+                participants_buf.extend(selected.iter().copied().filter(|&w| {
+                    faults.available(w, ready)
+                        && !faults.in_outage(w, ready)
+                        && dispatch + system.local_training_time(w) * faults.slowdown(w)
+                            <= ready + 1e-9
+                }));
+                trace
+                    .faults
+                    .record_round(participants_buf.len(), selected.len());
+                &participants_buf
+            } else {
+                &selected
+            };
+
+            data_sizes.clear();
+            data_sizes.extend(participants.iter().map(|&w| system.shards[w].len() as f64));
+            let group_data: f64 = data_sizes.iter().sum();
+
+            // Graceful degradation: nothing to aggregate this round.
+            if participants.is_empty() || group_data <= 0.0 {
+                trace.faults.record_event(FaultEvent {
+                    time: ready,
+                    round,
+                    group: 0,
+                    kind: FaultEventKind::GroupSkipped,
+                });
+                now += round_wait + wireless.broadcast_latency;
+                if let Some(limit) = cfg.options.max_virtual_time {
+                    if now > limit {
+                        break;
+                    }
+                }
+                continue;
+            }
+
+            // Participating workers train from the current global model (in
+            // parallel when enabled).
+            pool.train_members(participants, &global, system, cfg.options.parallel);
+            now += round_wait + aggregation_latency + wireless.broadcast_latency;
             if let Some(limit) = cfg.options.max_virtual_time {
                 if now > limit {
                     break;
                 }
             }
 
-            // Over-the-air aggregation of the selected subset.
-            data_sizes.clear();
-            data_sizes.extend(selected.iter().map(|&w| system.shards[w].len() as f64));
-            let group_data: f64 = data_sizes.iter().sum();
+            // Over-the-air aggregation of the participating subset.
             sel_gains.clear();
-            sel_gains.extend(selected.iter().map(|&w| gains[w]));
-            let norm_bound = selected
+            sel_gains.extend(participants.iter().map(|&w| gains[w]));
+            let norm_bound = participants
                 .iter()
                 .map(|&w| pool.local(w).norm())
                 .fold(0.0_f64, f64::max)
@@ -180,11 +259,11 @@ impl FlMechanism for Dynamic {
             // Gather straight from the round-persistent buffers: no per-round
             // Vec<AirAggregationInput> allocation.
             air_aggregate_indexed_into(
-                selected.len(),
+                participants.len(),
                 |i| AirAggregationInput {
                     data_size: data_sizes[i],
                     channel_gain: sel_gains[i],
-                    params: pool.local(selected[i]),
+                    params: pool.local(participants[i]),
                 },
                 sigma,
                 eta,
@@ -193,7 +272,7 @@ impl FlMechanism for Dynamic {
                 &mut group_estimate,
                 &mut air_scratch,
             );
-            for (i, &w) in selected.iter().enumerate() {
+            for (i, &w) in participants.iter().enumerate() {
                 ledger.record(w, air_scratch.per_worker_energy[i]);
             }
             ledger.finish_round();
@@ -296,6 +375,41 @@ mod tests {
         // all workers.
         assert!(trace.total_energy() > 0.0);
         assert_eq!(trace.total_rounds(), 3);
+    }
+
+    #[test]
+    fn churn_filters_participants_deterministically() {
+        let mut cfg = FlSystemConfig::mnist_lr_quick();
+        cfg.faults = faults::FaultSpec {
+            dropout_rate: 0.002,
+            mean_downtime: 80.0,
+            straggler_fraction: 0.4,
+            straggler_slowdown: 4.0,
+            deadline: Some(300.0),
+            ..faults::FaultSpec::none()
+        };
+        let system = cfg.build(&mut Rng64::seed_from(40));
+        let mech = Dynamic::new(DynamicConfig {
+            options: BaselineOptions {
+                total_rounds: 40,
+                eval_every: 5,
+                max_virtual_time: None,
+                parallel: true,
+            },
+            ..DynamicConfig::default()
+        });
+        let a = mech.run(&system, &mut Rng64::seed_from(41));
+        let b = mech.run(&system, &mut Rng64::seed_from(41));
+        assert_eq!(a.faults, b.faults, "fault log must be deterministic");
+        assert_eq!(a.faults.rounds_attempted, 40);
+        assert!(
+            a.faults.participation_rate() <= 1.0 && a.faults.rounds_survived() > 0,
+            "churned Dynamic should still aggregate some rounds"
+        );
+        for (pa, pb) in a.points().iter().zip(b.points()) {
+            assert_eq!(pa.loss.to_bits(), pb.loss.to_bits());
+            assert_eq!(pa.time.to_bits(), pb.time.to_bits());
+        }
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   both medians are recorded in the JSON report.
 //! * `evaluate` — batched loss+accuracy evaluation vs. per-sample predict.
 //! * `full_round` — a short end-to-end run (4 rounds) of each of the five
-//!   mechanisms on a 12-worker system.
+//!   mechanisms on a 12-worker system, plus `air_fedga_churn` /
+//!   `dynamic_churn` variants under ~10% worker churn with stragglers and a
+//!   deadline (the fault-path bookkeeping overhead).
 //! * `pool` — fork/join overhead of the persistent pool vs. the old
 //!   spawn-per-call design (8-task no-op fan-out; ≥ 5× floor), plus the
 //!   latency of a small-group parallel training round, the case the
@@ -32,6 +34,7 @@ use baselines::{AirFedAvg, BaselineOptions, Dynamic, DynamicConfig, FedAvg, TiFl
 use bench::bench_system;
 use bench::reference::mlp_local_update_reference;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faults::FaultSpec;
 use fedml::dataset::SyntheticSpec;
 use fedml::linalg::{gemm_nn, gemm_nt, gemm_nt_packed, gemm_tn};
 use fedml::model::{Mlp, Model};
@@ -191,6 +194,36 @@ fn bench_full_round(c: &mut Criterion) {
     group.bench_function("tifl", |b| {
         let mech = TiFl::new(opts);
         b.iter(|| black_box(mech.run(&system, &mut Rng64::seed_from(3))))
+    });
+
+    // The same end-to-end rounds under ~10% worker churn (steady-state
+    // unavailability at dropout 0.002/s with 60 s mean downtime), stragglers
+    // and a deadline — the price of the fault-path bookkeeping: dispatch-time
+    // tracking, participant filtering and weight re-normalization.
+    let mut churn_cfg = FlSystemConfig::mnist_lr_quick();
+    churn_cfg.faults = FaultSpec {
+        dropout_rate: 0.002,
+        mean_downtime: 60.0,
+        straggler_fraction: 0.3,
+        straggler_slowdown: 3.0,
+        deadline: Some(400.0),
+        ..FaultSpec::none()
+    };
+    let churn_system = bench_system(churn_cfg, 12, 42);
+    group.bench_function("air_fedga_churn", |b| {
+        let mech = AirFedGa::new(AirFedGaConfig {
+            total_rounds: 4,
+            eval_every: 4,
+            ..AirFedGaConfig::default()
+        });
+        b.iter(|| black_box(mech.run(&churn_system, &mut Rng64::seed_from(3))))
+    });
+    group.bench_function("dynamic_churn", |b| {
+        let mech = Dynamic::new(DynamicConfig {
+            options: opts,
+            ..DynamicConfig::default()
+        });
+        b.iter(|| black_box(mech.run(&churn_system, &mut Rng64::seed_from(3))))
     });
     group.finish();
 }

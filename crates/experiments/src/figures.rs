@@ -175,6 +175,9 @@ pub fn run_time_accuracy_figure(
         params.max_virtual_time,
         &plan,
     );
+    // Robustness columns appear only for faulty workloads, so fault-free
+    // figures keep their historical byte-frozen table layout.
+    let faulty = !cfg.faults.is_none();
     let mut header = vec![
         "mechanism".to_string(),
         "final acc".to_string(),
@@ -185,6 +188,10 @@ pub fn run_time_accuracy_figure(
     ];
     for t in accuracy_targets {
         header.push(format!("t@{:.0}% (s)", t * 100.0));
+    }
+    if faulty {
+        header.push("participation".to_string());
+        header.push("rounds survived".to_string());
     }
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(title, &header_refs);
@@ -200,6 +207,10 @@ pub fn run_time_accuracy_figure(
             ];
             for t in accuracy_targets {
                 row.push(fmt_opt_secs(s.time_to_accuracy(*t)));
+            }
+            if faulty {
+                row.push(format!("{:.3}", s.participation_rate));
+                row.push(format!("{}", s.rounds_survived));
             }
             table.add_row(row);
         }
@@ -243,6 +254,10 @@ pub fn run_time_accuracy_figure(
             ];
             for t in accuracy_targets {
                 row.push(c.time_to_accuracy_stats(*t).fmt_with_count(0, seeds.len()));
+            }
+            if faulty {
+                row.push(c.participation_rate_stats().fmt_mean_std(3));
+                row.push(c.rounds_survived_stats().fmt_mean_std(1));
             }
             table.add_row(row);
         }

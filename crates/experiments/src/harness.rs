@@ -36,6 +36,7 @@ use baselines::{AirFedAvg, BaselineOptions, Dynamic, DynamicConfig, FedAvg, TiFl
 use fedml::rng::Rng64;
 use parallel::prelude::*;
 use simcore::trace::TrainingTrace;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Which mechanism to include in a comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,11 +133,22 @@ pub struct RunSummary {
     pub total_time: f64,
     /// Total aggregation energy (Joules).
     pub total_energy: f64,
+    /// Fraction of scheduled member slots that participated (1.0 for
+    /// fault-free runs).
+    pub participation_rate: f64,
+    /// Rounds that produced a global update under fault injection (equals
+    /// the attempted rounds for fault-free runs).
+    pub rounds_survived: usize,
 }
 
 impl RunSummary {
     /// Build the summary from a trace.
     pub fn from_trace(trace: TrainingTrace) -> Self {
+        let rounds_survived = if trace.faults.is_empty() {
+            trace.total_rounds()
+        } else {
+            trace.faults.rounds_survived()
+        };
         Self {
             mechanism: trace.mechanism.clone(),
             final_accuracy: trace.final_accuracy(),
@@ -144,6 +156,8 @@ impl RunSummary {
             average_round_time: trace.average_round_time(),
             total_time: trace.total_time(),
             total_energy: trace.total_energy(),
+            participation_rate: trace.faults.participation_rate(),
+            rounds_survived,
             trace,
         }
     }
@@ -213,11 +227,158 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    cells
+    let indexed: Vec<(usize, T)> = cells.into_iter().enumerate().collect();
+    indexed
         .into_par_iter()
-        .map(run_cell)
+        .map(|(index, cell)| {
+            // Re-panic with the cell index attached: a bare worker panic
+            // ("index out of bounds…") is useless in a 100-cell grid.
+            match catch_unwind(AssertUnwindSafe(|| run_cell(cell))) {
+                Ok(result) => result,
+                Err(payload) => {
+                    panic!("grid cell {index} panicked: {}", panic_message(&*payload))
+                }
+            }
+        })
         .with_chunk_hint(ChunkHint::Fine)
         .collect()
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` / `String`
+/// payloads — everything `panic!` and `assert!` produce).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// One first-attempt failure of an isolated grid run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Input-order index of the failed cell.
+    pub index: usize,
+    /// Human-readable cell label — for replicated grids this carries the
+    /// (cell, seed) pair.
+    pub label: String,
+    /// Panic message of the last failing attempt.
+    pub message: String,
+    /// True when the sequential retry succeeded (the grid result is intact;
+    /// the failure is still reported so flaky cells don't go unnoticed).
+    pub recovered: bool,
+}
+
+impl CellFailure {
+    /// One report line for this failure.
+    pub fn describe(&self) -> String {
+        if self.recovered {
+            format!(
+                "cell {} [{}]: recovered on retry; first panic: {}",
+                self.index, self.label, self.message
+            )
+        } else {
+            format!(
+                "cell {} [{}]: FAILED after one retry: {}",
+                self.index, self.label, self.message
+            )
+        }
+    }
+}
+
+/// Result of an isolated grid run: per-cell results in input order (`None`
+/// where a cell failed twice) plus every recorded failure.
+#[derive(Debug)]
+pub struct GridOutcome<R> {
+    /// Per-cell results, input order; `None` = failed even after the retry.
+    pub results: Vec<Option<R>>,
+    /// First-attempt failures (including the ones whose retry succeeded).
+    pub failures: Vec<CellFailure>,
+}
+
+impl<R> GridOutcome<R> {
+    /// True when every cell produced a result (possibly via retry).
+    pub fn is_complete(&self) -> bool {
+        self.results.iter().all(Option::is_some)
+    }
+
+    /// Multi-line failure report (empty string when nothing failed).
+    pub fn failure_report(&self) -> String {
+        if self.failures.is_empty() {
+            return String::new();
+        }
+        let lost = self.results.iter().filter(|r| r.is_none()).count();
+        let mut out = format!(
+            "{} of {} grid cells panicked ({} unrecovered after retry):\n",
+            self.failures.len(),
+            self.results.len(),
+            lost
+        );
+        for f in &self.failures {
+            out.push_str("  - ");
+            out.push_str(&f.describe());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// [`run_grid`] with per-cell panic isolation: a panicking cell no longer
+/// aborts the whole grid. Every cell runs under `catch_unwind`; failed cells
+/// are retried once, sequentially, after the parallel pass (a transient
+/// failure mode — e.g. an allocation blip under memory pressure — should not
+/// cost the grid), and cells that fail twice surface as `None` results plus
+/// a [`CellFailure`] labelled by `label`, so drivers can emit partial CSVs
+/// and a failure report instead of losing hours of completed work.
+///
+/// Successful cells are bit-identical to [`run_grid`] — isolation only
+/// wraps the call, it does not touch the cell's RNG streams.
+pub fn run_grid_isolated<T, R, F, L>(cells: Vec<T>, label: L, run_cell: F) -> GridOutcome<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    L: Fn(usize, &T) -> String,
+{
+    let cells_ref = &cells;
+    let run_ref = &run_cell;
+    let first_pass: Vec<Result<R, String>> = run_grid((0..cells.len()).collect(), |i| {
+        catch_unwind(AssertUnwindSafe(|| run_ref(&cells_ref[i])))
+            .map_err(|payload| panic_message(&*payload))
+    });
+    let mut results: Vec<Option<R>> = Vec::with_capacity(cells.len());
+    let mut failures: Vec<CellFailure> = Vec::new();
+    for (index, attempt) in first_pass.into_iter().enumerate() {
+        match attempt {
+            Ok(result) => results.push(Some(result)),
+            Err(first_message) => {
+                // One sequential retry, still isolated.
+                match catch_unwind(AssertUnwindSafe(|| run_cell(&cells[index]))) {
+                    Ok(result) => {
+                        results.push(Some(result));
+                        failures.push(CellFailure {
+                            index,
+                            label: label(index, &cells[index]),
+                            message: first_message,
+                            recovered: true,
+                        });
+                    }
+                    Err(payload) => {
+                        results.push(None);
+                        failures.push(CellFailure {
+                            index,
+                            label: label(index, &cells[index]),
+                            message: panic_message(&*payload),
+                            recovered: false,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    GridOutcome { results, failures }
 }
 
 /// Fan the full (cell × seed) replication product across the persistent
@@ -244,7 +405,17 @@ where
         .flat_map(|ci| seeds.iter().map(move |&s| (ci, s)))
         .collect();
     let cells_ref = &cells;
-    let flat: Vec<RunSummary> = run_grid(pairs, |(ci, seed)| run_cell(&cells_ref[ci], seed));
+    let flat: Vec<RunSummary> = run_grid(pairs, |(ci, seed)| {
+        // Attach the (cell, seed) pair before the panic leaves the replicate:
+        // the flat grid index alone does not identify the failing replicate.
+        match catch_unwind(AssertUnwindSafe(|| run_cell(&cells_ref[ci], seed))) {
+            Ok(summary) => summary,
+            Err(payload) => panic!(
+                "replicate (cell {ci}, seed {seed}) panicked: {}",
+                panic_message(&*payload)
+            ),
+        }
+    });
     let mut flat = flat.into_iter();
     (0..cells.len())
         .map(|_| {
@@ -252,6 +423,89 @@ where
             CellStats::from_summaries(seeds.to_vec(), per_seed)
         })
         .collect()
+}
+
+/// Result of an isolated replicated run: per-cell folded statistics (`None`
+/// when **every** replicate of the cell failed twice) plus the failures,
+/// labelled `"<cell label> seed <seed>"`.
+#[derive(Debug)]
+pub struct ReplicatedOutcome {
+    /// Per-cell statistics folded over the *surviving* replicates, input
+    /// order. A cell whose replicates all failed is `None`.
+    pub cells: Vec<Option<CellStats>>,
+    /// First-attempt failures across the flat (cell × seed) grid.
+    pub failures: Vec<CellFailure>,
+}
+
+impl ReplicatedOutcome {
+    /// True when every cell kept all of its replicates.
+    pub fn is_complete(&self) -> bool {
+        self.failures.iter().all(|f| f.recovered)
+    }
+
+    /// Multi-line failure report (empty string when nothing failed).
+    pub fn failure_report(&self) -> String {
+        if self.failures.is_empty() {
+            return String::new();
+        }
+        let mut out = format!("{} replicate(s) panicked:\n", self.failures.len());
+        for f in &self.failures {
+            out.push_str("  - ");
+            out.push_str(&f.describe());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// [`run_replicated`] with per-replicate panic isolation: each (cell, seed)
+/// pair runs under `catch_unwind` and is retried once on failure; a
+/// replicate that fails twice is dropped from its cell's folded statistics
+/// (the error bars simply cover fewer seeds) instead of aborting the grid.
+/// `label(ci, &cell)` names the cell in the failure report.
+pub fn run_replicated_isolated<T, F, L>(
+    cells: Vec<T>,
+    seeds: &[u64],
+    label: L,
+    run_cell: F,
+) -> ReplicatedOutcome
+where
+    T: Sync + Send,
+    F: Fn(&T, u64) -> RunSummary + Sync,
+    L: Fn(usize, &T) -> String,
+{
+    assert!(!seeds.is_empty(), "replication needs at least one seed");
+    let pairs: Vec<(usize, u64)> = (0..cells.len())
+        .flat_map(|ci| seeds.iter().map(move |&s| (ci, s)))
+        .collect();
+    let cells_ref = &cells;
+    let outcome = run_grid_isolated(
+        pairs,
+        |_, &(ci, seed)| format!("{} seed {}", label(ci, &cells_ref[ci]), seed),
+        |&(ci, seed)| run_cell(&cells_ref[ci], seed),
+    );
+    let mut flat = outcome.results.into_iter();
+    let folded = (0..cells.len())
+        .map(|_| {
+            let mut kept_seeds = Vec::new();
+            let mut per_seed = Vec::new();
+            for &seed in seeds {
+                if let Some(summary) = flat.next().expect("flat grid is cells × seeds") {
+                    kept_seeds.push(seed);
+                    per_seed.push(summary);
+                }
+            }
+            if per_seed.is_empty() {
+                None
+            } else {
+                Some(CellStats::from_summaries(kept_seeds, per_seed))
+            }
+        })
+        .collect();
+    ReplicatedOutcome {
+        cells: folded,
+        failures: outcome.failures,
+    }
 }
 
 /// How one replicated comparison derives its RNG streams: the system seed,
@@ -614,6 +868,123 @@ mod tests {
             .zip(varying[0].per_seed[1].trace.points())
             .any(|(x, y)| x.loss.to_bits() != y.loss.to_bits());
         assert!(differs, "vary_system did not reach the system build");
+    }
+
+    #[test]
+    #[should_panic(expected = "grid cell 2 panicked: boom at cell 2")]
+    fn grid_panics_carry_the_cell_index() {
+        run_grid(vec![0usize, 1, 2, 3], |i| {
+            if i == 2 {
+                panic!("boom at cell {i}");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "replicate (cell 1, seed 4243) panicked")]
+    fn replicated_panics_carry_cell_and_seed() {
+        let system = FlSystemConfig::mnist_lr_quick().build(&mut Rng64::seed_from(5));
+        run_replicated(
+            vec![MechanismChoice::AirFedAvg, MechanismChoice::AirFedGa],
+            &[4242, 4243],
+            |&choice, seed| {
+                if choice == MechanismChoice::AirFedGa && seed == 4243 {
+                    panic!("injected failure");
+                }
+                let mech = choice.build(3, 1, None);
+                RunSummary::from_trace(mech.run(&system, &mut Rng64::seed_from(seed)))
+            },
+        );
+    }
+
+    #[test]
+    fn isolated_grid_survives_a_panicking_cell() {
+        let outcome = run_grid_isolated(
+            vec![10usize, 20, 30],
+            |i, &cell| format!("cell-{i}-value-{cell}"),
+            |&cell| {
+                if cell == 20 {
+                    panic!("cell 20 always dies");
+                }
+                cell * 2
+            },
+        );
+        assert_eq!(outcome.results, vec![Some(20), None, Some(60)]);
+        assert!(!outcome.is_complete());
+        assert_eq!(outcome.failures.len(), 1);
+        let f = &outcome.failures[0];
+        assert_eq!(f.index, 1);
+        assert_eq!(f.label, "cell-1-value-20");
+        assert_eq!(f.message, "cell 20 always dies");
+        assert!(!f.recovered);
+        let report = outcome.failure_report();
+        assert!(report.contains("1 of 3 grid cells panicked"));
+        assert!(report.contains("FAILED after one retry"));
+    }
+
+    #[test]
+    fn isolated_grid_retries_flaky_cells_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let attempts = AtomicUsize::new(0);
+        let outcome = run_grid_isolated(
+            vec![1usize, 2],
+            |i, _| format!("cell {i}"),
+            |&cell| {
+                if cell == 2 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient");
+                }
+                cell
+            },
+        );
+        assert_eq!(outcome.results, vec![Some(1), Some(2)]);
+        assert!(
+            outcome.is_complete(),
+            "retry should have recovered the cell"
+        );
+        assert_eq!(outcome.failures.len(), 1);
+        assert!(outcome.failures[0].recovered);
+        assert!(outcome.failure_report().contains("recovered on retry"));
+    }
+
+    #[test]
+    fn isolated_replication_drops_dead_replicates_from_the_stats() {
+        let system = FlSystemConfig::mnist_lr_quick().build(&mut Rng64::seed_from(5));
+        let outcome = run_replicated_isolated(
+            vec![MechanismChoice::AirFedAvg, MechanismChoice::AirFedGa],
+            &[4242, 4243],
+            |_, choice| choice.label().to_string(),
+            |&choice, seed| {
+                if choice == MechanismChoice::AirFedGa && seed == 4243 {
+                    panic!("injected failure");
+                }
+                let mech = choice.build(3, 1, None);
+                RunSummary::from_trace(mech.run(&system, &mut Rng64::seed_from(seed)))
+            },
+        );
+        assert_eq!(outcome.cells.len(), 2);
+        let healthy = outcome.cells[0].as_ref().expect("healthy cell");
+        assert_eq!(healthy.seeds, vec![4242, 4243]);
+        let wounded = outcome.cells[1].as_ref().expect("one replicate survives");
+        assert_eq!(wounded.seeds, vec![4242]);
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].label, "Air-FedGA seed 4243");
+        assert!(!outcome.is_complete());
+        assert!(outcome.failure_report().contains("Air-FedGA seed 4243"));
+    }
+
+    #[test]
+    fn summaries_report_robustness_metrics() {
+        let mut cfg = FlSystemConfig::mnist_lr_quick();
+        let clean = compare_mechanisms(&cfg, &[MechanismChoice::AirFedGa], 10, 2, None, 3, 4);
+        assert_eq!(clean[0].participation_rate, 1.0);
+        assert_eq!(clean[0].rounds_survived, clean[0].trace.total_rounds());
+        cfg.faults.dropout_rate = 0.003;
+        cfg.faults.mean_downtime = 50.0;
+        let churn = compare_mechanisms(&cfg, &[MechanismChoice::AirFedGa], 10, 2, None, 3, 4);
+        assert!(churn[0].participation_rate <= 1.0);
+        assert!(churn[0].rounds_survived <= 10);
+        assert!(churn[0].rounds_survived > 0);
     }
 
     #[test]

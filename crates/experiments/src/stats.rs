@@ -304,6 +304,26 @@ impl CellStats {
         }
         acc.summary()
     }
+
+    /// Statistics of the participation rate over the seeds (robustness
+    /// metric; exactly 1.0 everywhere for fault-free runs).
+    pub fn participation_rate_stats(&self) -> SummaryStats {
+        let mut acc = Welford::new();
+        for s in &self.per_seed {
+            acc.push(s.participation_rate);
+        }
+        acc.summary()
+    }
+
+    /// Statistics of the rounds-survived count over the seeds (robustness
+    /// metric: rounds that produced a global update under fault injection).
+    pub fn rounds_survived_stats(&self) -> SummaryStats {
+        let mut acc = Welford::new();
+        for s in &self.per_seed {
+            acc.push(s.rounds_survived as f64);
+        }
+        acc.summary()
+    }
 }
 
 /// The replication seed stream: `n` run seeds starting at `base`.

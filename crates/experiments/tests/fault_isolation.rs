@@ -1,0 +1,79 @@
+//! End-to-end harness smoke: a grid with a deliberately panicking cell must
+//! finish, retry the cell once, and report the failure with its (cell, seed)
+//! label — instead of aborting and losing every completed cell.
+
+use experiments::harness::{
+    run_grid_isolated, run_replicated_isolated, MechanismChoice, RunSummary,
+};
+use fedml::rng::Rng64;
+
+use airfedga::system::FlSystemConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn grid_with_a_panicking_cell_completes_with_a_failure_report() {
+    let system = FlSystemConfig::mnist_lr_quick().build(&mut Rng64::seed_from(5));
+    let retries = AtomicUsize::new(0);
+    let outcome = run_replicated_isolated(
+        MechanismChoice::aircomp_trio(),
+        &[4242, 4243],
+        |_, choice| choice.label().to_string(),
+        |&choice, seed| {
+            if choice == MechanismChoice::Dynamic && seed == 4243 {
+                retries.fetch_add(1, Ordering::SeqCst);
+                panic!("deliberately injected cell failure");
+            }
+            let mech = choice.build(3, 1, None);
+            RunSummary::from_trace(mech.run(&system, &mut Rng64::seed_from(seed)))
+        },
+    );
+
+    // The grid finished: every healthy cell kept all replicates, the wounded
+    // cell kept its surviving seed.
+    assert_eq!(outcome.cells.len(), 3);
+    for (ci, cell) in outcome.cells.iter().enumerate() {
+        let cell = cell.as_ref().expect("every cell has a surviving replicate");
+        let expected = if ci == 0 {
+            vec![4242]
+        } else {
+            vec![4242, 4243]
+        };
+        assert_eq!(cell.seeds, expected, "cell {ci} kept the wrong seeds");
+        for s in &cell.per_seed {
+            assert!(s.final_loss.is_finite());
+        }
+    }
+
+    // The failing replicate was attempted exactly twice (one retry).
+    assert_eq!(retries.load(Ordering::SeqCst), 2);
+
+    // The failure report names the (cell, seed) pair and the panic message.
+    assert_eq!(outcome.failures.len(), 1);
+    let failure = &outcome.failures[0];
+    assert_eq!(failure.label, "Dynamic seed 4243");
+    assert!(!failure.recovered);
+    assert!(failure.message.contains("deliberately injected"));
+    let report = outcome.failure_report();
+    assert!(report.contains("Dynamic seed 4243"));
+    assert!(report.contains("FAILED after one retry"));
+    assert!(!outcome.is_complete());
+}
+
+#[test]
+fn transient_cell_failures_recover_on_retry() {
+    let attempts = AtomicUsize::new(0);
+    let outcome = run_grid_isolated(
+        vec![0usize, 1, 2, 3],
+        |i, _| format!("cell {i}"),
+        |&cell| {
+            if cell == 1 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient blip");
+            }
+            cell * 10
+        },
+    );
+    assert!(outcome.is_complete());
+    assert_eq!(outcome.results, vec![Some(0), Some(10), Some(20), Some(30)]);
+    assert_eq!(outcome.failures.len(), 1);
+    assert!(outcome.failures[0].recovered);
+}

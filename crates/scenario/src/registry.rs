@@ -15,6 +15,7 @@
 use crate::ScenarioError;
 use airfedga::system::FlSystemConfig;
 use experiments::harness::MechanismChoice;
+use faults::FaultSpec;
 use fedml::dataset::SyntheticSpec;
 use fedml::model::ModelKind;
 use fedml::partition::Partitioner;
@@ -265,6 +266,71 @@ impl Registry {
         }
     }
 
+    /// A fault-injection preset (`[faults] preset = "..."`): `none`,
+    /// `churn:<rate>` (Poisson dropout at `<rate>`/s with 60 s mean
+    /// downtime), `stragglers:<frac>:<slow>` (that fraction of workers
+    /// slowed by up to `<slow>`×), or `outage:<rate>:<duration>` (channel
+    /// outage bursts). Explicit `[faults]` keys override preset fields.
+    pub fn fault_preset(&self, key: &str) -> Result<FaultSpec, ScenarioError> {
+        fn num(part: &str, key: &str) -> Result<f64, ScenarioError> {
+            part.parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| {
+                    ScenarioError::new(format!("invalid number {part:?} in fault preset {key:?}"))
+                })
+        }
+        let mut spec = FaultSpec::none();
+        if key == "none" {
+            return Ok(spec);
+        }
+        if let Some(rate) = key.strip_prefix("churn:") {
+            let rate = num(rate, key)?;
+            if rate < 0.0 {
+                return Err(ScenarioError::new(format!(
+                    "churn rate must be non-negative, got {rate}"
+                )));
+            }
+            spec.dropout_rate = rate;
+            spec.mean_downtime = 60.0;
+            return Ok(spec);
+        }
+        if let Some(rest) = key.strip_prefix("stragglers:") {
+            if let [frac, slow] = rest.split(':').collect::<Vec<_>>().as_slice() {
+                let frac = num(frac, key)?;
+                let slow = num(slow, key)?;
+                if !(0.0..=1.0).contains(&frac) || slow < 1.0 {
+                    return Err(ScenarioError::new(format!(
+                        "stragglers preset needs a fraction in [0, 1] and a slowdown \
+                         of at least 1, got {key:?}"
+                    )));
+                }
+                spec.straggler_fraction = frac;
+                spec.straggler_slowdown = slow;
+                return Ok(spec);
+            }
+        }
+        if let Some(rest) = key.strip_prefix("outage:") {
+            if let [rate, dur] = rest.split(':').collect::<Vec<_>>().as_slice() {
+                let rate = num(rate, key)?;
+                let dur = num(dur, key)?;
+                if rate < 0.0 || dur <= 0.0 {
+                    return Err(ScenarioError::new(format!(
+                        "outage preset needs a non-negative rate and a positive \
+                         duration, got {key:?}"
+                    )));
+                }
+                spec.outage_rate = rate;
+                spec.outage_duration = dur;
+                return Ok(spec);
+            }
+        }
+        Err(ScenarioError::new(format!(
+            "unknown fault preset {key:?}; available: none, churn:<rate>, \
+             stragglers:<frac>:<slow>, outage:<rate>:<duration>"
+        )))
+    }
+
     /// A wireless channel preset (`[system] channel = "..."`); the presets
     /// live with the physical-layer constants in
     /// [`wireless::timing::WirelessConfig::preset`].
@@ -355,6 +421,27 @@ impl Registry {
                 .collect(),
         );
         section(
+            "[faults] preset =",
+            vec![
+                (
+                    "none".to_string(),
+                    "the zero-fault plan (default)".to_string(),
+                ),
+                (
+                    "churn:<rate>".to_string(),
+                    "Poisson worker dropout at <rate>/s, 60 s mean downtime".to_string(),
+                ),
+                (
+                    "stragglers:<frac>:<slow>".to_string(),
+                    "that fraction of workers slowed by up to <slow>x".to_string(),
+                ),
+                (
+                    "outage:<rate>:<duration>".to_string(),
+                    "channel-outage bursts (Poisson starts, fixed length)".to_string(),
+                ),
+            ],
+        );
+        section(
             "[run] mechanisms =",
             MECHANISMS
                 .iter()
@@ -420,6 +507,36 @@ mod tests {
     }
 
     #[test]
+    fn fault_presets_parse() {
+        let r = Registry::builtin();
+        assert!(r.fault_preset("none").unwrap().is_none());
+        let churn = r.fault_preset("churn:0.002").unwrap();
+        assert_eq!(churn.dropout_rate, 0.002);
+        assert_eq!(churn.mean_downtime, 60.0);
+        churn.validate();
+        let strag = r.fault_preset("stragglers:0.3:3").unwrap();
+        assert_eq!(strag.straggler_fraction, 0.3);
+        assert_eq!(strag.straggler_slowdown, 3.0);
+        strag.validate();
+        let outage = r.fault_preset("outage:0.001:20").unwrap();
+        assert_eq!(outage.outage_rate, 0.001);
+        assert_eq!(outage.outage_duration, 20.0);
+        outage.validate();
+    }
+
+    #[test]
+    fn bad_fault_presets_are_rejected() {
+        let r = Registry::builtin();
+        assert!(r.fault_preset("churn:x").is_err());
+        assert!(r.fault_preset("churn:-1").is_err());
+        assert!(r.fault_preset("stragglers:1.5:3").is_err());
+        assert!(r.fault_preset("stragglers:0.3:0.5").is_err());
+        assert!(r.fault_preset("outage:0.01:0").is_err());
+        let err = r.fault_preset("blackout").unwrap_err();
+        assert!(err.msg.contains("churn:<rate>"), "{}", err.msg);
+    }
+
+    #[test]
     fn unknown_keys_list_the_alternatives() {
         let r = Registry::builtin();
         let err = r.workload("mnist").unwrap_err();
@@ -447,6 +564,8 @@ mod tests {
             "dirichlet:<alpha>",
             "heterogeneity",
             "channel",
+            "[faults] preset =",
+            "churn:<rate>",
             "mechanisms",
             "air-fedga",
         ] {

@@ -5,8 +5,10 @@
 //! paths the legacy figure binaries call, so a scenario that reproduces a
 //! figure is byte-identical to the binary. The generic `grid` kind expands
 //! the sweep cross-product ([`crate::spec::expand_grid`]) and fans the flat
-//! `(cell × seed)` list through `harness::run_replicated`, printing a
-//! summary table and writing `<csv_prefix>_grid.csv`.
+//! `(cell × seed)` list through `harness::run_replicated_isolated`, printing
+//! a summary table and writing `<csv_prefix>_grid.csv`; a panicking
+//! replicate is retried once and reported after the table instead of
+//! aborting the sweep.
 //!
 //! CLI precedence: the `--seeds N` and `--system-seeds` flags override the
 //! spec's `run.seeds` / `run.system_seeds` keys, and `AIRFEDGA_SCALE`
@@ -15,8 +17,7 @@
 use crate::spec::{expand_grid, GridCell, ScenarioKind, ScenarioSpec};
 use crate::ScenarioError;
 use experiments::figures::{print_speedups, run_time_accuracy_figure, FigureParams};
-use experiments::harness::run_replicated;
-use experiments::harness::RunSummary;
+use experiments::harness::{run_replicated_isolated, RunSummary};
 use experiments::report::{fmt_opt_secs, fmt_secs, try_write_csv, Table};
 use experiments::scale::{seeds_flag_opt, system_seeds_flag, Scale};
 use experiments::sweeps::{
@@ -170,7 +171,21 @@ fn run_grid_scenario(spec: &ScenarioSpec, params: &FigureParams) {
             .map(|&n| cfg_for(n).build(&mut Rng64::seed_from(plan.system_seed)))
             .collect()
     };
-    let stats = run_replicated(cells.clone(), &seeds, |cell: &GridCell, seed| {
+    // Cells run panic-isolated: a failed (cell, seed) replicate is retried
+    // once sequentially, surviving replicates keep their statistics, and the
+    // failures are reported after the table instead of aborting the run.
+    let cell_label = |_i: usize, cell: &GridCell| {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(n) = cell.num_workers {
+            parts.push(format!("N={n}"));
+        }
+        if let Some(xi) = cell.xi {
+            parts.push(format!("xi={}", fmt_xi(xi)));
+        }
+        parts.push(cell.mechanism.label().to_string());
+        parts.join(" ")
+    };
+    let outcome = run_replicated_isolated(cells.clone(), &seeds, cell_label, |cell, seed| {
         let mech = build_sweep_mechanism(
             cell.mechanism,
             cell.xi,
@@ -190,8 +205,10 @@ fn run_grid_scenario(spec: &ScenarioSpec, params: &FigureParams) {
             RunSummary::from_trace(mech.run(&shared[idx], &mut Rng64::seed_from(seed)))
         }
     });
+    let stats = &outcome.cells;
 
     let replicated = seeds.len() > 1;
+    let faulty = !spec.base_config.faults.is_none();
     let has_n = spec.sweep_num_workers.is_some();
     let has_xi = spec.sweep_xi.is_some();
     let mut header: Vec<String> = Vec::new();
@@ -233,12 +250,30 @@ fn run_grid_scenario(spec: &ScenarioSpec, params: &FigureParams) {
             csv_header.push(format!("t{pct:.0}"));
         }
     }
+    // Robustness columns only appear on faulty workloads, so fault-free
+    // scenarios keep their historical byte-exact layout.
+    if faulty {
+        header.push("participation".to_string());
+        header.push("rounds survived".to_string());
+        if replicated {
+            for stem in ["participation", "rounds_survived"] {
+                csv_header.push(format!("{stem}_mean"));
+                csv_header.push(format!("{stem}_std"));
+            }
+        } else {
+            csv_header.push("participation".to_string());
+            csv_header.push("rounds_survived".to_string());
+        }
+    }
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(&spec.title, &header_refs);
     let mut csv = csv_header.join(",");
     csv.push('\n');
 
-    for (cell, stat) in cells.iter().zip(&stats) {
+    for (cell, stat) in cells.iter().zip(stats) {
+        // A cell whose replicates all died even after the retry has no
+        // statistics; its row is omitted and the failure report names it.
+        let Some(stat) = stat else { continue };
         let mut row: Vec<String> = Vec::new();
         let mut csv_row: Vec<String> = Vec::new();
         if has_n {
@@ -254,7 +289,7 @@ fn run_grid_scenario(spec: &ScenarioSpec, params: &FigureParams) {
         row.push(stat.mechanism.clone());
         csv_row.push(stat.mechanism.clone());
         if replicated {
-            csv_row.push(seeds.len().to_string());
+            csv_row.push(stat.seeds.len().to_string());
             let acc = stat.final_accuracy_stats();
             let loss = stat.final_loss_stats();
             let round = stat.average_round_time_stats();
@@ -273,8 +308,18 @@ fn run_grid_scenario(spec: &ScenarioSpec, params: &FigureParams) {
             }
             for t in &spec.accuracy_targets {
                 let s = stat.time_to_accuracy_stats(*t);
-                row.push(s.fmt_with_count(0, seeds.len()));
+                row.push(s.fmt_with_count(0, stat.seeds.len()));
                 csv_row.push(s.csv_fields(1));
+            }
+            if faulty {
+                let part = stat.participation_rate_stats();
+                let survived = stat.rounds_survived_stats();
+                row.push(part.fmt_mean_std(3));
+                row.push(survived.fmt_mean_std(1));
+                csv_row.push(format!("{:.4}", part.mean));
+                csv_row.push(format!("{:.4}", part.std));
+                csv_row.push(format!("{:.2}", survived.mean));
+                csv_row.push(format!("{:.2}", survived.std));
             }
         } else {
             let s = stat.first();
@@ -291,6 +336,12 @@ fn run_grid_scenario(spec: &ScenarioSpec, params: &FigureParams) {
                 row.push(fmt_opt_secs(tta));
                 csv_row.push(tta.map(|t| format!("{t:.1}")).unwrap_or_default());
             }
+            if faulty {
+                row.push(format!("{:.3}", s.participation_rate));
+                row.push(format!("{}", s.rounds_survived));
+                csv_row.push(format!("{:.4}", s.participation_rate));
+                csv_row.push(s.rounds_survived.to_string());
+            }
         }
         table.add_row(row);
         csv.push_str(&csv_row.join(","));
@@ -298,6 +349,8 @@ fn run_grid_scenario(spec: &ScenarioSpec, params: &FigureParams) {
     }
     println!("{}", table.render());
     try_write_csv(&format!("{}_grid.csv", spec.csv_prefix), &csv);
+    // Empty for a healthy run, so fault-free stdout stays byte-identical.
+    print!("{}", outcome.failure_report());
 }
 
 #[cfg(test)]
@@ -337,6 +390,40 @@ xi = [0.3, 1.0]
                 system_seeds: true,
             },
         );
+    }
+
+    /// A grid scenario with a `[faults]` table runs end-to-end: churn plus a
+    /// straggler deadline, replicated, with the robustness columns appended.
+    #[test]
+    fn faulty_grid_scenario_runs_end_to_end() {
+        let src = r#"
+[scenario]
+name = "test_scenario_churn"
+kind = "grid"
+title = "test churn grid scenario"
+
+[system]
+workload = "mnist_lr_quick"
+
+[faults]
+preset = "churn:0.002"
+straggler_fraction = 0.3
+straggler_slowdown = 3.0
+deadline = 400
+
+[run]
+mechanisms = ["air-fedavg", "air-fedga"]
+accuracy_targets = [0.5]
+rounds = 4
+eval_every = 2
+seeds = 2
+
+[sweep]
+xi = [0.3, 1.0]
+"#;
+        let spec = ScenarioSpec::parse(src).unwrap();
+        assert!(!spec.base_config.faults.is_none());
+        execute(&spec, Scale::Quick, &CliOverrides::default());
     }
 
     /// A time_accuracy scenario with registry components no figure binary

@@ -257,6 +257,34 @@ impl<'a> SpecReader<'a> {
         }
     }
 
+    /// An `f64` key that must satisfy `check` when present; `expect`
+    /// describes the requirement in the error message.
+    fn f64_checked_opt(
+        &self,
+        key: &str,
+        expect: &str,
+        check: impl Fn(f64) -> bool,
+    ) -> Result<Option<f64>, ScenarioError> {
+        match self.entry(key)? {
+            None => Ok(None),
+            Some((v, line)) => {
+                let x = match v {
+                    Value::Float(f) => *f,
+                    Value::Int(i) => *i as f64,
+                    other => return Err(self.mismatch(key, "a number", other, line)),
+                };
+                if x.is_finite() && check(x) {
+                    Ok(Some(x))
+                } else {
+                    Err(ScenarioError::at(
+                        line,
+                        format!("{} must be {expect}, got {x}", self.ctx(key)),
+                    ))
+                }
+            }
+        }
+    }
+
     fn bool_opt(&self, key: &str) -> Result<Option<bool>, ScenarioError> {
         match self.entry(key)? {
             None => Ok(None),
@@ -447,6 +475,65 @@ impl ScenarioSpec {
                     ));
                 }
             }
+        }
+
+        // [faults] — injected fault statistics (default: no faults, which
+        // leaves the run byte-identical to a pre-faults build). A `preset`
+        // resolves through the registry first; explicit keys then override
+        // individual fields on top of it.
+        let faults_tbl = root.table_opt("faults")?.unwrap_or(&empty);
+        let faults = SpecReader::new(faults_tbl, "faults");
+        if let Some((key, line)) = faults.str_opt("preset")? {
+            base_config.faults = at_line(registry.fault_preset(&key), line)?;
+        }
+        if let Some(v) =
+            faults.f64_checked_opt("dropout_rate", "a non-negative rate", |x| x >= 0.0)?
+        {
+            base_config.faults.dropout_rate = v;
+        }
+        if let Some(v) = faults.f64_checked_opt("mean_downtime", "positive", |x| x > 0.0)? {
+            base_config.faults.mean_downtime = v;
+        }
+        if let Some(v) = faults.f64_checked_opt("straggler_fraction", "in [0, 1]", |x| {
+            (0.0..=1.0).contains(&x)
+        })? {
+            base_config.faults.straggler_fraction = v;
+        }
+        if let Some(v) = faults.f64_checked_opt("straggler_slowdown", "at least 1", |x| x >= 1.0)? {
+            base_config.faults.straggler_slowdown = v;
+        }
+        if let Some(v) =
+            faults.f64_checked_opt("outage_rate", "a non-negative rate", |x| x >= 0.0)?
+        {
+            base_config.faults.outage_rate = v;
+        }
+        if let Some(v) = faults.f64_checked_opt("outage_duration", "positive", |x| x > 0.0)? {
+            base_config.faults.outage_duration = v;
+        }
+        if let Some(v) = faults.f64_checked_opt("deadline", "positive", |x| x > 0.0)? {
+            base_config.faults.deadline = Some(v);
+        }
+        if let Some(v) = faults.f64_checked_opt("horizon", "positive", |x| x > 0.0)? {
+            base_config.faults.horizon = v;
+        }
+        faults.finish()?;
+        // Cross-field constraints the engine would otherwise only catch as a
+        // panic deep inside `FlSystemConfig::build`.
+        if base_config.faults.dropout_rate > 0.0 && base_config.faults.mean_downtime <= 0.0 {
+            return Err(ScenarioError::at(
+                faults_tbl.line.max(1),
+                "`faults.mean_downtime` must be set (positive) when \
+                 `faults.dropout_rate` is"
+                    .into(),
+            ));
+        }
+        if base_config.faults.outage_rate > 0.0 && base_config.faults.outage_duration <= 0.0 {
+            return Err(ScenarioError::at(
+                faults_tbl.line.max(1),
+                "`faults.outage_duration` must be set (positive) when \
+                 `faults.outage_rate` is"
+                    .into(),
+            ));
         }
 
         // [run] — mechanisms, targets, seeds and budgets.
@@ -873,5 +960,58 @@ system_seeds = true
         assert_eq!(spec.num_seeds, 2);
         assert!(spec.vary_system);
         assert_eq!(spec.mechanisms.len(), 5);
+    }
+
+    const FAULTS_HEADER: &str =
+        "[scenario]\nname = \"f\"\nkind = \"time_accuracy\"\ntitle = \"t\"\n\
+         [run]\nmechanisms = [\"air-fedga\"]\naccuracy_targets = [0.5]\n";
+
+    #[test]
+    fn faults_table_reaches_the_config_with_preset_and_overrides() {
+        // No [faults] table: the zero-fault spec, so runs stay byte-identical.
+        let spec = ScenarioSpec::parse(FAULTS_HEADER).unwrap();
+        assert!(spec.base_config.faults.is_none());
+
+        // Preset plus explicit overrides on top of it.
+        let spec = ScenarioSpec::parse(&format!(
+            "{FAULTS_HEADER}[faults]\npreset = \"churn:0.002\"\nmean_downtime = 45\n\
+             straggler_fraction = 0.3\nstraggler_slowdown = 3.0\ndeadline = 400\n"
+        ))
+        .unwrap();
+        let f = &spec.base_config.faults;
+        assert_eq!(f.dropout_rate, 0.002);
+        assert_eq!(f.mean_downtime, 45.0);
+        assert_eq!(f.straggler_fraction, 0.3);
+        assert_eq!(f.straggler_slowdown, 3.0);
+        assert_eq!(f.deadline, Some(400.0));
+        f.validate();
+    }
+
+    #[test]
+    fn faults_table_rejects_typos_and_bad_values_with_lines() {
+        // A typo'd key fails like every other table.
+        let err =
+            ScenarioSpec::parse(&format!("{FAULTS_HEADER}[faults]\ndropout = 0.1\n")).unwrap_err();
+        assert!(err.msg.contains("faults.dropout"), "{}", err.msg);
+
+        // Out-of-range values carry the key's line.
+        let err = ScenarioSpec::parse(&format!(
+            "{FAULTS_HEADER}[faults]\nstraggler_fraction = 1.5\n"
+        ))
+        .unwrap_err();
+        assert_eq!(err.line, Some(9));
+        assert!(err.msg.contains("in [0, 1]"), "{}", err.msg);
+        let err = ScenarioSpec::parse(&format!("{FAULTS_HEADER}[faults]\npreset = \"blackout\"\n"))
+            .unwrap_err();
+        assert_eq!(err.line, Some(9));
+        assert!(err.msg.contains("unknown fault preset"), "{}", err.msg);
+
+        // Cross-field constraints fail at parse time, not as engine panics.
+        let err = ScenarioSpec::parse(&format!("{FAULTS_HEADER}[faults]\ndropout_rate = 0.01\n"))
+            .unwrap_err();
+        assert!(err.msg.contains("mean_downtime"), "{}", err.msg);
+        let err = ScenarioSpec::parse(&format!("{FAULTS_HEADER}[faults]\noutage_rate = 0.01\n"))
+            .unwrap_err();
+        assert!(err.msg.contains("outage_duration"), "{}", err.msg);
     }
 }

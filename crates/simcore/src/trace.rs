@@ -23,6 +23,87 @@ pub struct TracePoint {
     pub energy: f64,
 }
 
+/// What went wrong in one round of a faulty run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEventKind {
+    /// Every member of the group was dropped, deadlined or in outage: the
+    /// round was skipped without a global update (no zero-division, no
+    /// staleness entry).
+    GroupSkipped,
+}
+
+/// One fault-degradation event of a run (recorded only when fault injection
+/// is active; fault-free traces carry an empty log).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Virtual time of the event.
+    pub time: f64,
+    /// Global round index the event occurred in.
+    pub round: usize,
+    /// Group index (0 for single-group mechanisms).
+    pub group: usize,
+    /// What happened.
+    pub kind: FaultEventKind,
+}
+
+/// Robustness bookkeeping of one run under fault injection: the degradation
+/// events plus the participation counters behind the robustness metrics
+/// (participation rate, rounds survived). [`Default`] is the empty log —
+/// what every fault-free run carries, at zero cost.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultLog {
+    /// Degradation events, in time order.
+    pub events: Vec<FaultEvent>,
+    /// Rounds the engine attempted (scheduled a group for).
+    pub rounds_attempted: usize,
+    /// Rounds that actually produced a global update.
+    pub rounds_aggregated: usize,
+    /// Total members that participated in an aggregation, summed over
+    /// attempted rounds.
+    pub participants_total: usize,
+    /// Total scheduled members (full group size), summed over attempted
+    /// rounds.
+    pub members_total: usize,
+}
+
+impl FaultLog {
+    /// True when nothing was logged (the fault-free case).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.rounds_attempted == 0
+    }
+
+    /// Record one attempted round: how many of the group's `members`
+    /// actually made it into the aggregation.
+    pub fn record_round(&mut self, participants: usize, members: usize) {
+        self.rounds_attempted += 1;
+        if participants > 0 {
+            self.rounds_aggregated += 1;
+        }
+        self.participants_total += participants;
+        self.members_total += members;
+    }
+
+    /// Record a degradation event.
+    pub fn record_event(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+
+    /// Fraction of scheduled member slots that participated (1.0 for a
+    /// fault-free run, which logs nothing).
+    pub fn participation_rate(&self) -> f64 {
+        if self.members_total == 0 {
+            1.0
+        } else {
+            self.participants_total as f64 / self.members_total as f64
+        }
+    }
+
+    /// Rounds that produced a global update ("rounds survived").
+    pub fn rounds_survived(&self) -> usize {
+        self.rounds_aggregated
+    }
+}
+
 /// The complete record of one training run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TrainingTrace {
@@ -30,6 +111,10 @@ pub struct TrainingTrace {
     pub mechanism: String,
     /// Workload label (e.g. `"CNN on MNIST-like"`).
     pub workload: String,
+    /// Fault/robustness bookkeeping (empty unless fault injection is on;
+    /// deliberately not part of [`TrainingTrace::to_csv`], whose byte layout
+    /// is frozen by the figure-equivalence CI diffs).
+    pub faults: FaultLog,
     points: Vec<TracePoint>,
 }
 
@@ -39,6 +124,7 @@ impl TrainingTrace {
         Self {
             mechanism: mechanism.to_string(),
             workload: workload.to_string(),
+            faults: FaultLog::default(),
             points: Vec::new(),
         }
     }
@@ -227,5 +313,28 @@ mod tests {
         assert_eq!(t.final_accuracy(), 0.0);
         assert!(t.final_loss().is_infinite());
         assert_eq!(t.time_to_accuracy(0.1), None);
+        assert!(t.faults.is_empty());
+        assert_eq!(t.faults.participation_rate(), 1.0);
+        assert_eq!(t.faults.rounds_survived(), 0);
+    }
+
+    #[test]
+    fn fault_log_counts_participation_and_skips() {
+        let mut log = FaultLog::default();
+        log.record_round(4, 5); // one member missed the deadline
+        log.record_round(0, 5); // whole group down -> skipped
+        log.record_event(FaultEvent {
+            time: 10.0,
+            round: 2,
+            group: 1,
+            kind: FaultEventKind::GroupSkipped,
+        });
+        log.record_round(5, 5);
+        assert_eq!(log.rounds_attempted, 3);
+        assert_eq!(log.rounds_survived(), 2);
+        assert_eq!(log.participation_rate(), 9.0 / 15.0);
+        assert_eq!(log.events.len(), 1);
+        assert_eq!(log.events[0].kind, FaultEventKind::GroupSkipped);
+        assert!(!log.is_empty());
     }
 }

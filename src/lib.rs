@@ -11,6 +11,7 @@
 //! * [`grouping`] — EMD, the grouping objective and Algorithm 3.
 //! * [`airfedga`] — the Air-FedGA mechanism (Algorithm 1) and Theorem-1 bound.
 //! * [`baselines`] — FedAvg, TiFL, Air-FedAvg and Dynamic comparators.
+//! * [`faults`] — deterministic fault injection (churn, stragglers, outages).
 //! * [`experiments`] — the shared figure/sweep drivers and replication stats.
 //! * [`scenario`] — declarative scenario specs (TOML subset + component
 //!   registry) behind the `airfedga-run` driver binary.
@@ -20,6 +21,7 @@
 pub use airfedga;
 pub use baselines;
 pub use experiments;
+pub use faults;
 pub use fedml;
 pub use grouping;
 pub use scenario;
