@@ -209,6 +209,13 @@ pub fn run_group_async(
     });
 
     for round in 1..=opts.total_rounds {
+        // Round boundary: honour a watchdog cancellation (no-op without an
+        // installed token) and any injected test fault. Neither touches
+        // floats or RNG state, so instrumented runs stay bit-identical.
+        simcore::cancel::checkpoint(round);
+        if fault_on {
+            system.faults.injected_fault(round);
+        }
         let Some((ready_time, j)) = queue.pop() else {
             break;
         };

@@ -146,6 +146,12 @@ impl FlMechanism for Dynamic {
 
         let mut now = 0.0;
         for round in 1..=cfg.options.total_rounds {
+            // Round boundary: honour a watchdog cancellation and any
+            // injected test fault (see the group-async engine).
+            simcore::cancel::checkpoint(round);
+            if fault_on {
+                system.faults.injected_fault(round);
+            }
             // The scheduler observes this round's channel gains and selects
             // the best-channel subset (among the workers that are up, under
             // fault injection).

@@ -12,7 +12,10 @@
 //! scenario file may set (explicit worker count, round budget, cadence,
 //! virtual-time cap).
 
-use crate::harness::{compare_mechanisms_replicated, MechanismChoice, RunSummary, SeedPlan};
+use crate::harness::{
+    compare_mechanisms_replicated_durable, CellFailure, MechanismChoice, NoCache, ReplicateCache,
+    RunPolicy, RunSummary, SeedPlan,
+};
 use crate::report::{error_bar_csv, fmt_opt_secs, fmt_secs, gnuplot_script, try_write_csv, Table};
 use crate::scale::{seeds_flag, system_seeds_flag, Scale};
 use crate::stats::{replication_seeds, CellStats};
@@ -157,6 +160,65 @@ pub fn run_time_accuracy_figure(
     csv_prefix: &str,
     params: &FigureParams,
 ) -> FigureOutcome {
+    let run = run_time_accuracy_figure_durable(
+        title,
+        workload,
+        mechanisms,
+        accuracy_targets,
+        csv_prefix,
+        params,
+        &RunPolicy::default(),
+        &NoCache,
+    );
+    run.survivors()
+}
+
+/// Result of a durable figure run: per-mechanism statistics in request order
+/// (`None` where every replicate of a mechanism died) plus the recorded
+/// replicate failures.
+#[derive(Debug)]
+pub struct FigureRun {
+    /// Per-mechanism folded statistics, request order; `None` = the
+    /// mechanism lost every replicate.
+    pub cells: Vec<Option<CellStats>>,
+    /// Replicate failures across the flat (mechanism × seed) grid,
+    /// including the recovered ones.
+    pub failures: Vec<CellFailure>,
+}
+
+impl FigureRun {
+    /// The surviving cells as a [`FigureOutcome`] (for shape assertions and
+    /// [`print_speedups`]).
+    pub fn survivors(&self) -> FigureOutcome {
+        FigureOutcome {
+            cells: self.cells.iter().flatten().cloned().collect(),
+        }
+    }
+
+    /// True when no replicate was lost for good.
+    pub fn is_complete(&self) -> bool {
+        self.failures.iter().all(|f| f.recovered)
+    }
+}
+
+/// [`run_time_accuracy_figure`] under an explicit [`RunPolicy`] and
+/// [`ReplicateCache`]: replicates are panic-isolated (a dead mechanism is
+/// dropped from the table and CSVs instead of aborting the figure), cached
+/// replicates are loaded instead of re-run, and fresh ones are persisted as
+/// they complete. With the default policy and [`NoCache`] — how
+/// [`run_time_accuracy_figure`] calls it — a healthy run's stdout and CSV
+/// bytes are identical to the historical driver.
+#[allow(clippy::too_many_arguments)]
+pub fn run_time_accuracy_figure_durable(
+    title: &str,
+    workload: FlSystemConfig,
+    mechanisms: &[MechanismChoice],
+    accuracy_targets: &[f64],
+    csv_prefix: &str,
+    params: &FigureParams,
+    policy: &RunPolicy,
+    cache: &dyn ReplicateCache,
+) -> FigureRun {
     let scale = params.scale;
     let cfg = params.apply(workload);
     println!(
@@ -167,14 +229,17 @@ pub fn run_time_accuracy_figure(
     );
     let plan = params.plan();
     let seeds = plan.run_seeds.clone();
-    let cells = compare_mechanisms_replicated(
+    let outcome = compare_mechanisms_replicated_durable(
         &cfg,
         mechanisms,
         params.rounds(),
         params.eval(),
         params.max_virtual_time,
         &plan,
+        policy,
+        cache,
     );
+    let cells = outcome.cells;
     // Robustness columns appear only for faulty workloads, so fault-free
     // figures keep their historical byte-frozen table layout.
     let faulty = !cfg.faults.is_none();
@@ -196,7 +261,7 @@ pub fn run_time_accuracy_figure(
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(title, &header_refs);
     if seeds.len() == 1 {
-        for s in cells.iter().map(|c| c.first()) {
+        for s in cells.iter().flatten().map(|c| c.first()) {
             let mut row = vec![
                 s.mechanism.clone(),
                 format!("{:.3}", s.final_accuracy),
@@ -228,7 +293,7 @@ pub fn run_time_accuracy_figure(
                 plan.system_seed + (seeds.len() as u64 - 1)
             );
         }
-        for c in &cells {
+        for c in cells.iter().flatten() {
             let acc = c.final_accuracy_stats();
             let loss = c.final_loss_stats();
             let round = c.average_round_time_stats();
@@ -264,7 +329,7 @@ pub fn run_time_accuracy_figure(
     }
     println!("{}", table.render());
 
-    for c in &cells {
+    for c in cells.iter().flatten() {
         let stem = c.mechanism.to_lowercase().replace(['-', ' '], "_");
         // The canonical first-seed trace keeps its historical name (and
         // bytes), so existing plotting scripts keep working at any seed
@@ -284,6 +349,7 @@ pub fn run_time_accuracy_figure(
         // One shaded-band script over every mechanism's error-bar CSV.
         let series: Vec<(String, String)> = cells
             .iter()
+            .flatten()
             .map(|c| {
                 let stem = c.mechanism.to_lowercase().replace(['-', ' '], "_");
                 (
@@ -297,7 +363,10 @@ pub fn run_time_accuracy_figure(
             &gnuplot_script(title, &format!("{csv_prefix}_errorbars.png"), &series),
         );
     }
-    FigureOutcome { cells }
+    FigureRun {
+        cells,
+        failures: outcome.failures,
+    }
 }
 
 /// Print the paper's headline speed-up claim for a figure: how much faster

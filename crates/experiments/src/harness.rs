@@ -269,23 +269,134 @@ pub struct CellFailure {
     /// True when the sequential retry succeeded (the grid result is intact;
     /// the failure is still reported so flaky cells don't go unnoticed).
     pub recovered: bool,
+    /// Total attempts made (first attempt + retries), at least 1.
+    pub attempts: usize,
 }
 
 impl CellFailure {
-    /// One report line for this failure.
+    /// One report line for this failure. The historical single-retry wording
+    /// is preserved verbatim for the default [`RunPolicy`] (two attempts).
     pub fn describe(&self) -> String {
         if self.recovered {
-            format!(
-                "cell {} [{}]: recovered on retry; first panic: {}",
-                self.index, self.label, self.message
-            )
+            if self.attempts <= 2 {
+                format!(
+                    "cell {} [{}]: recovered on retry; first panic: {}",
+                    self.index, self.label, self.message
+                )
+            } else {
+                format!(
+                    "cell {} [{}]: recovered on retry {}; first panic: {}",
+                    self.index,
+                    self.label,
+                    self.attempts - 1,
+                    self.message
+                )
+            }
         } else {
-            format!(
-                "cell {} [{}]: FAILED after one retry: {}",
-                self.index, self.label, self.message
-            )
+            match self.attempts {
+                0 | 1 => format!(
+                    "cell {} [{}]: FAILED (no retry): {}",
+                    self.index, self.label, self.message
+                ),
+                2 => format!(
+                    "cell {} [{}]: FAILED after one retry: {}",
+                    self.index, self.label, self.message
+                ),
+                n => format!(
+                    "cell {} [{}]: FAILED after {} retries: {}",
+                    self.index,
+                    self.label,
+                    n - 1,
+                    self.message
+                ),
+            }
         }
     }
+}
+
+/// Per-cell execution limits for the isolated runners: how many bounded
+/// retries a failed attempt gets, how long to back off between them, and an
+/// optional wall-clock watchdog per attempt. The default reproduces the
+/// historical behaviour exactly: one retry, no backoff, no timeout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunPolicy {
+    /// Sequential retries after a failed first attempt (0 = fail fast).
+    pub max_retries: usize,
+    /// Base backoff in wall-clock seconds: retry `k` sleeps `k * backoff`
+    /// first (deterministic linear backoff; sleeping never touches the
+    /// simulation, so results are unaffected).
+    pub retry_backoff: f64,
+    /// Wall-clock seconds each attempt may run before the watchdog cancels
+    /// it at the next round boundary (`None` = no watchdog).
+    pub cell_timeout: Option<f64>,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 1,
+            retry_backoff: 0.0,
+            cell_timeout: None,
+        }
+    }
+}
+
+impl RunPolicy {
+    fn backoff_sleep(&self, completed_attempts: usize) {
+        if self.retry_backoff > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(
+                self.retry_backoff * completed_attempts as f64,
+            ));
+        }
+    }
+}
+
+/// One isolated attempt at a cell, under the policy's watchdog if any.
+fn attempt_cell<R>(policy: &RunPolicy, f: impl FnOnce() -> R) -> Result<R, String> {
+    let _watch = policy.cell_timeout.map(crate::watchdog::watch);
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| panic_message(&*payload))
+}
+
+/// A persistent store of completed replicates consulted by
+/// [`run_replicated_isolated_plan`]. Keys are the (cell index, cell label,
+/// run seed, system seed) coordinates of one replicate *within a fixed
+/// already-hashed experiment* — the store implementation (see the
+/// `runstore` crate) scopes them under a content hash of the full spec.
+/// Implementations must be `Sync`: fresh results are stored from the
+/// parallel pass as soon as they complete.
+pub trait ReplicateCache: Sync {
+    /// A previously completed replicate, if the store has one.
+    fn load(
+        &self,
+        cell_index: usize,
+        cell_label: &str,
+        run_seed: u64,
+        system_seed: u64,
+    ) -> Option<RunSummary>;
+
+    /// Persist a freshly completed replicate. Must be atomic (a torn write
+    /// must never be loadable) and infallible from the caller's view —
+    /// storage errors should degrade to "not cached", not kill the grid.
+    fn store(
+        &self,
+        cell_index: usize,
+        cell_label: &str,
+        run_seed: u64,
+        system_seed: u64,
+        summary: &RunSummary,
+    );
+}
+
+/// The no-op cache: every replicate is a miss, nothing is persisted. The
+/// zero-store default — runs with `NoCache` perform no disk I/O.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCache;
+
+impl ReplicateCache for NoCache {
+    fn load(&self, _: usize, _: &str, _: u64, _: u64) -> Option<RunSummary> {
+        None
+    }
+    fn store(&self, _: usize, _: &str, _: u64, _: u64, _: &RunSummary) {}
 }
 
 /// Result of an isolated grid run: per-cell results in input order (`None`
@@ -342,11 +453,29 @@ where
     F: Fn(&T) -> R + Sync,
     L: Fn(usize, &T) -> String,
 {
+    run_grid_isolated_with(cells, label, &RunPolicy::default(), run_cell)
+}
+
+/// [`run_grid_isolated`] under an explicit [`RunPolicy`]: bounded retries
+/// with deterministic linear backoff, and an optional per-attempt watchdog
+/// timeout. The default policy makes this identical to
+/// [`run_grid_isolated`].
+pub fn run_grid_isolated_with<T, R, F, L>(
+    cells: Vec<T>,
+    label: L,
+    policy: &RunPolicy,
+    run_cell: F,
+) -> GridOutcome<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    L: Fn(usize, &T) -> String,
+{
     let cells_ref = &cells;
     let run_ref = &run_cell;
     let first_pass: Vec<Result<R, String>> = run_grid((0..cells.len()).collect(), |i| {
-        catch_unwind(AssertUnwindSafe(|| run_ref(&cells_ref[i])))
-            .map_err(|payload| panic_message(&*payload))
+        attempt_cell(policy, || run_ref(&cells_ref[i]))
     });
     let mut results: Vec<Option<R>> = Vec::with_capacity(cells.len());
     let mut failures: Vec<CellFailure> = Vec::new();
@@ -354,27 +483,33 @@ where
         match attempt {
             Ok(result) => results.push(Some(result)),
             Err(first_message) => {
-                // One sequential retry, still isolated.
-                match catch_unwind(AssertUnwindSafe(|| run_cell(&cells[index]))) {
-                    Ok(result) => {
-                        results.push(Some(result));
-                        failures.push(CellFailure {
-                            index,
-                            label: label(index, &cells[index]),
-                            message: first_message,
-                            recovered: true,
-                        });
-                    }
-                    Err(payload) => {
-                        results.push(None);
-                        failures.push(CellFailure {
-                            index,
-                            label: label(index, &cells[index]),
-                            message: panic_message(&*payload),
-                            recovered: false,
-                        });
+                // Bounded sequential retries, still isolated.
+                let mut attempts = 1usize;
+                let mut last_message = first_message.clone();
+                let mut recovered_result = None;
+                while recovered_result.is_none() && attempts <= policy.max_retries {
+                    policy.backoff_sleep(attempts);
+                    attempts += 1;
+                    match attempt_cell(policy, || run_cell(&cells[index])) {
+                        Ok(result) => recovered_result = Some(result),
+                        Err(message) => last_message = message,
                     }
                 }
+                let recovered = recovered_result.is_some();
+                failures.push(CellFailure {
+                    index,
+                    label: label(index, &cells[index]),
+                    // Recovered cells report what first went wrong; dead
+                    // cells report the final attempt's panic.
+                    message: if recovered {
+                        first_message
+                    } else {
+                        last_message
+                    },
+                    recovered,
+                    attempts,
+                });
+                results.push(recovered_result);
             }
         }
     }
@@ -474,23 +609,145 @@ where
     F: Fn(&T, u64) -> RunSummary + Sync,
     L: Fn(usize, &T) -> String,
 {
+    // The system seed only keys the (absent) cache here; 0 is arbitrary.
+    let plan = SeedPlan::fixed_system(0, seeds.to_vec());
+    run_replicated_isolated_plan(
+        cells,
+        &plan,
+        label,
+        &RunPolicy::default(),
+        &NoCache,
+        run_cell,
+    )
+}
+
+/// The durable core of the isolated replicated runner: consult a
+/// [`ReplicateCache`] before computing, run only the misses (in parallel),
+/// persist fresh successes as soon as they complete, and apply the
+/// [`RunPolicy`]'s bounded retries / watchdog to every attempt.
+///
+/// The cache pass is sequential and in input order, so a fully warmed cache
+/// replays the grid deterministically without touching the worker pool; a
+/// partially warmed cache re-runs exactly the missing replicates. Because
+/// every replicate is bit-identical regardless of where or when it runs
+/// (the house determinism contract), a resumed grid folds to the same
+/// [`CellStats`] — and therefore the same rendered bytes — as an
+/// uninterrupted one. `plan.system_seed_for(seed)` is part of each cache
+/// key, so `--system-seeds` replicates never collide with fixed-system
+/// ones. [`CellFailure::index`] refers to the full flat (cell × seed) grid,
+/// not the miss list, so failure reports read the same whether or not the
+/// cache was warm.
+pub fn run_replicated_isolated_plan<T, F, L>(
+    cells: Vec<T>,
+    plan: &SeedPlan,
+    label: L,
+    policy: &RunPolicy,
+    cache: &dyn ReplicateCache,
+    run_cell: F,
+) -> ReplicatedOutcome
+where
+    T: Sync + Send,
+    F: Fn(&T, u64) -> RunSummary + Sync,
+    L: Fn(usize, &T) -> String,
+{
+    let seeds = &plan.run_seeds;
     assert!(!seeds.is_empty(), "replication needs at least one seed");
+    let cell_labels: Vec<String> = cells
+        .iter()
+        .enumerate()
+        .map(|(ci, cell)| label(ci, cell))
+        .collect();
     let pairs: Vec<(usize, u64)> = (0..cells.len())
         .flat_map(|ci| seeds.iter().map(move |&s| (ci, s)))
         .collect();
+
+    // Cache pass: load completed replicates, queue the rest.
+    let mut results: Vec<Option<RunSummary>> = Vec::with_capacity(pairs.len());
+    let mut todo: Vec<usize> = Vec::new();
+    for (flat, &(ci, seed)) in pairs.iter().enumerate() {
+        match cache.load(ci, &cell_labels[ci], seed, plan.system_seed_for(seed)) {
+            Some(summary) => results.push(Some(summary)),
+            None => {
+                results.push(None);
+                todo.push(flat);
+            }
+        }
+    }
+
+    // Parallel pass over the misses only; fresh successes are persisted
+    // immediately (the store's writes are atomic per file), so an
+    // interrupted grid loses at most the replicates still in flight.
     let cells_ref = &cells;
-    let outcome = run_grid_isolated(
-        pairs,
-        |_, &(ci, seed)| format!("{} seed {}", label(ci, &cells_ref[ci]), seed),
-        |&(ci, seed)| run_cell(&cells_ref[ci], seed),
-    );
-    let mut flat = outcome.results.into_iter();
+    let labels_ref = &cell_labels;
+    let pairs_ref = &pairs;
+    let run_ref = &run_cell;
+    let first_pass: Vec<Result<RunSummary, String>> = run_grid(todo.clone(), |flat| {
+        let (ci, seed) = pairs_ref[flat];
+        let attempt = attempt_cell(policy, || run_ref(&cells_ref[ci], seed));
+        if let Ok(summary) = &attempt {
+            cache.store(
+                ci,
+                &labels_ref[ci],
+                seed,
+                plan.system_seed_for(seed),
+                summary,
+            );
+        }
+        attempt
+    });
+
+    // Bounded sequential retries, input order.
+    let mut failures: Vec<CellFailure> = Vec::new();
+    for (flat, attempt) in todo.into_iter().zip(first_pass) {
+        let (ci, seed) = pairs[flat];
+        match attempt {
+            Ok(summary) => results[flat] = Some(summary),
+            Err(first_message) => {
+                let mut attempts = 1usize;
+                let mut last_message = first_message.clone();
+                let mut recovered_summary = None;
+                while recovered_summary.is_none() && attempts <= policy.max_retries {
+                    policy.backoff_sleep(attempts);
+                    attempts += 1;
+                    match attempt_cell(policy, || run_cell(&cells[ci], seed)) {
+                        Ok(summary) => {
+                            cache.store(
+                                ci,
+                                &cell_labels[ci],
+                                seed,
+                                plan.system_seed_for(seed),
+                                &summary,
+                            );
+                            recovered_summary = Some(summary);
+                        }
+                        Err(message) => last_message = message,
+                    }
+                }
+                let recovered = recovered_summary.is_some();
+                failures.push(CellFailure {
+                    index: flat,
+                    label: format!("{} seed {}", cell_labels[ci], seed),
+                    message: if recovered {
+                        first_message
+                    } else {
+                        last_message
+                    },
+                    recovered,
+                    attempts,
+                });
+                results[flat] = recovered_summary;
+            }
+        }
+    }
+
+    // Fold per cell over the surviving replicates.
+    let mut flat_iter = results.into_iter();
     let folded = (0..cells.len())
         .map(|_| {
             let mut kept_seeds = Vec::new();
             let mut per_seed = Vec::new();
             for &seed in seeds {
-                if let Some(summary) = flat.next().expect("flat grid is cells × seeds") {
+                if let Some(summary) = flat_iter.next().expect("flat grid is cells × seeds") {
                     kept_seeds.push(seed);
                     per_seed.push(summary);
                 }
@@ -504,7 +761,7 @@ where
         .collect();
     ReplicatedOutcome {
         cells: folded,
-        failures: outcome.failures,
+        failures,
     }
 }
 
@@ -593,6 +850,55 @@ pub fn compare_mechanisms_replicated(
         let trace = mech.run(&system, &mut Rng64::seed_from(run_seed));
         RunSummary::from_trace(trace)
     })
+}
+
+/// [`compare_mechanisms_replicated`] with per-replicate panic isolation, a
+/// [`RunPolicy`] (bounded retries, optional watchdog) and a
+/// [`ReplicateCache`] consulted before any computation. With the default
+/// policy and [`NoCache`] the surviving statistics are bit-identical to
+/// [`compare_mechanisms_replicated`]; unlike it, a panicking replicate is
+/// reported as a labelled [`CellFailure`] instead of aborting the figure.
+#[allow(clippy::too_many_arguments)]
+pub fn compare_mechanisms_replicated_durable(
+    config: &FlSystemConfig,
+    mechanisms: &[MechanismChoice],
+    total_rounds: usize,
+    eval_every: usize,
+    max_virtual_time: Option<f64>,
+    plan: &SeedPlan,
+    policy: &RunPolicy,
+    cache: &dyn ReplicateCache,
+) -> ReplicatedOutcome {
+    let label = |_: usize, choice: &MechanismChoice| choice.label().to_string();
+    if !plan.vary_system {
+        // Fixed-system plan: build the system once and share it, exactly
+        // like the historical path.
+        let system = config.build(&mut Rng64::seed_from(plan.system_seed));
+        let system_ref = &system;
+        return run_replicated_isolated_plan(
+            mechanisms.to_vec(),
+            plan,
+            label,
+            policy,
+            cache,
+            |&choice, run_seed| {
+                let mech = choice.build(total_rounds, eval_every, max_virtual_time);
+                RunSummary::from_trace(mech.run(system_ref, &mut Rng64::seed_from(run_seed)))
+            },
+        );
+    }
+    run_replicated_isolated_plan(
+        mechanisms.to_vec(),
+        plan,
+        label,
+        policy,
+        cache,
+        |&choice, run_seed| {
+            let system = config.build(&mut Rng64::seed_from(plan.system_seed_for(run_seed)));
+            let mech = choice.build(total_rounds, eval_every, max_virtual_time);
+            RunSummary::from_trace(mech.run(&system, &mut Rng64::seed_from(run_seed)))
+        },
+    )
 }
 
 /// Replicated variant of [`compare_on_system`]: one replicated cell per
@@ -997,5 +1303,190 @@ mod tests {
         // A target accuracy of 0 is reached immediately; 1.01 never.
         assert!(s.time_to_accuracy(0.0).is_some());
         assert!(s.time_to_accuracy(1.01).is_none());
+    }
+
+    #[test]
+    fn zero_retry_policy_fails_fast() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let policy = RunPolicy {
+            max_retries: 0,
+            ..RunPolicy::default()
+        };
+        let outcome = run_grid_isolated_with(
+            vec![1usize, 2],
+            |i, _| format!("cell {i}"),
+            &policy,
+            |&cell| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                if cell == 2 {
+                    panic!("always dies");
+                }
+                cell
+            },
+        );
+        assert_eq!(outcome.results, vec![Some(1), None]);
+        // One attempt per cell, no retry for the dead one.
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        let f = &outcome.failures[0];
+        assert_eq!(f.attempts, 1);
+        assert!(!f.recovered);
+        assert!(
+            f.describe().contains("FAILED (no retry)"),
+            "{}",
+            f.describe()
+        );
+    }
+
+    #[test]
+    fn extra_retries_recover_a_thrice_flaky_cell() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let attempts = AtomicUsize::new(0);
+        let policy = RunPolicy {
+            max_retries: 3,
+            ..RunPolicy::default()
+        };
+        let outcome = run_grid_isolated_with(
+            vec![7usize],
+            |i, _| format!("cell {i}"),
+            &policy,
+            |&cell| {
+                if attempts.fetch_add(1, Ordering::SeqCst) < 3 {
+                    panic!("flaky");
+                }
+                cell
+            },
+        );
+        assert_eq!(outcome.results, vec![Some(7)]);
+        let f = &outcome.failures[0];
+        assert!(f.recovered);
+        assert_eq!(f.attempts, 4);
+        assert!(
+            f.describe().contains("recovered on retry 3"),
+            "{}",
+            f.describe()
+        );
+    }
+
+    #[test]
+    fn watchdog_timeout_surfaces_as_a_cell_failure() {
+        let policy = RunPolicy {
+            max_retries: 0,
+            cell_timeout: Some(0.05),
+            ..RunPolicy::default()
+        };
+        let outcome = run_grid_isolated_with(
+            vec![0usize, 1],
+            |i, _| format!("cell {i}"),
+            &policy,
+            |&cell| {
+                if cell == 1 {
+                    simcore::cancel::hang_until_cancelled(1);
+                }
+                cell
+            },
+        );
+        assert_eq!(outcome.results, vec![Some(0), None]);
+        assert_eq!(outcome.failures.len(), 1);
+        assert!(
+            outcome.failures[0].message.contains("timed out"),
+            "{}",
+            outcome.failures[0].message
+        );
+    }
+
+    /// A scripted in-memory cache: a warm entry must be loaded instead of
+    /// recomputed, a missing entry recomputed and re-stored, and the folded
+    /// statistics must be bit-identical either way.
+    #[test]
+    fn replicate_cache_hits_skip_recomputation() {
+        use std::collections::HashMap;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct MapCache {
+            map: Mutex<HashMap<(usize, String, u64, u64), RunSummary>>,
+        }
+        impl ReplicateCache for MapCache {
+            fn load(
+                &self,
+                ci: usize,
+                label: &str,
+                run_seed: u64,
+                system_seed: u64,
+            ) -> Option<RunSummary> {
+                self.map
+                    .lock()
+                    .unwrap()
+                    .get(&(ci, label.to_string(), run_seed, system_seed))
+                    .cloned()
+            }
+            fn store(
+                &self,
+                ci: usize,
+                label: &str,
+                run_seed: u64,
+                system_seed: u64,
+                summary: &RunSummary,
+            ) {
+                self.map.lock().unwrap().insert(
+                    (ci, label.to_string(), run_seed, system_seed),
+                    summary.clone(),
+                );
+            }
+        }
+
+        let system = FlSystemConfig::mnist_lr_quick().build(&mut Rng64::seed_from(5));
+        let calls = AtomicUsize::new(0);
+        let cache = MapCache::default();
+        let plan = SeedPlan::fixed_system(42, vec![4242, 4243]);
+        let cells = vec![MechanismChoice::AirFedAvg, MechanismChoice::AirFedGa];
+        let label = |_: usize, choice: &MechanismChoice| choice.label().to_string();
+        let run = |choice: &MechanismChoice, seed: u64| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            let mech = choice.build(3, 1, None);
+            RunSummary::from_trace(mech.run(&system, &mut Rng64::seed_from(seed)))
+        };
+
+        let cold = run_replicated_isolated_plan(
+            cells.clone(),
+            &plan,
+            label,
+            &RunPolicy::default(),
+            &cache,
+            run,
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 4);
+
+        // Warm pass: every replicate is a hit, nothing recomputes, and the
+        // folded statistics replay bit-for-bit.
+        let warm = run_replicated_isolated_plan(
+            cells.clone(),
+            &plan,
+            label,
+            &RunPolicy::default(),
+            &cache,
+            run,
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 4);
+        for (a, b) in cold.cells.iter().zip(&warm.cells) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.seeds, b.seeds);
+            for (x, y) in a.per_seed.iter().zip(&b.per_seed) {
+                assert_eq!(x.final_accuracy.to_bits(), y.final_accuracy.to_bits());
+                assert_eq!(x.total_time.to_bits(), y.total_time.to_bits());
+            }
+        }
+
+        // Evict one replicate: exactly that one recomputes.
+        cache
+            .map
+            .lock()
+            .unwrap()
+            .remove(&(1, "Air-FedGA".to_string(), 4243, 42))
+            .expect("evicted key was cached");
+        run_replicated_isolated_plan(cells, &plan, label, &RunPolicy::default(), &cache, run);
+        assert_eq!(calls.load(Ordering::SeqCst), 5);
     }
 }

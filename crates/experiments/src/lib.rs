@@ -18,6 +18,10 @@
 //!   `--seeds N` / `--system-seeds` flag parsers.
 //! * [`stats`] — Welford replication statistics behind the multi-seed
 //!   error-bar flags.
+//! * [`watchdog`] — per-cell wall-clock timeouts: a monitor thread cancels
+//!   the cooperative `simcore::cancel` token of a cell that overruns its
+//!   `[limits] cell_timeout_secs` budget, turning a hung cell into a
+//!   labelled `CellFailure` instead of a stalled grid.
 //!
 //! | Binary | Reproduces |
 //! |--------|------------|
@@ -44,6 +48,7 @@ pub mod report;
 pub mod scale;
 pub mod stats;
 pub mod sweeps;
+pub mod watchdog;
 
 pub use figures::FigureParams;
 pub use harness::{compare_mechanisms, run_replicated, MechanismChoice, RunSummary, SeedPlan};

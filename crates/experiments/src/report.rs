@@ -96,12 +96,21 @@ pub fn results_dir() -> PathBuf {
 
 /// Write `contents` to `results/<name>`, creating the directory if needed.
 /// Returns the written path.
+///
+/// The write is atomic: contents go to `results/<name>.tmp` first and the
+/// finished file is renamed into place, so a crash mid-write can leave a
+/// stale `.tmp` behind but never a torn file at the final path.
 pub fn write_csv(name: &str, contents: &str) -> std::io::Result<PathBuf> {
     let dir = results_dir();
     fs::create_dir_all(&dir)?;
     let path = dir.join(name);
-    let mut f = fs::File::create(&path)?;
-    f.write_all(contents.as_bytes())?;
+    let tmp = dir.join(format!("{name}.tmp"));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &path)?;
     Ok(path)
 }
 
@@ -316,6 +325,26 @@ mod tests {
         // Quotes in labels are escaped for gnuplot single-quoted strings.
         let quoted = gnuplot_script("it's", "o.png", &series);
         assert!(quoted.contains("title 'it''s'"));
+    }
+
+    #[test]
+    fn write_csv_is_atomic_via_tmp_rename() {
+        let name = "atomic_write_test.csv";
+        let final_path = results_dir().join(name);
+        let tmp_path = results_dir().join(format!("{name}.tmp"));
+        // Establish known contents at the final path.
+        write_csv(name, "old,complete\n").unwrap();
+        assert_eq!(fs::read_to_string(&final_path).unwrap(), "old,complete\n");
+        // Simulate a crash mid-write: a torn partial lands at the tmp path
+        // (exactly where write_csv stages its bytes) and the process dies
+        // before the rename — the final path must still hold the old bytes.
+        fs::write(&tmp_path, "new,tor").unwrap();
+        assert_eq!(fs::read_to_string(&final_path).unwrap(), "old,complete\n");
+        // A completed write replaces the file and consumes the staging file.
+        write_csv(name, "new,complete\n").unwrap();
+        assert_eq!(fs::read_to_string(&final_path).unwrap(), "new,complete\n");
+        assert!(!tmp_path.exists(), "rename must consume the staging file");
+        fs::remove_file(&final_path).ok();
     }
 
     #[test]

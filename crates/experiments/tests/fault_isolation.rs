@@ -5,6 +5,7 @@
 use experiments::harness::{
     run_grid_isolated, run_replicated_isolated, MechanismChoice, RunSummary,
 };
+use experiments::report::write_csv;
 use fedml::rng::Rng64;
 
 use airfedga::system::FlSystemConfig;
@@ -76,4 +77,91 @@ fn transient_cell_failures_recover_on_retry() {
     assert_eq!(outcome.results, vec![Some(0), Some(10), Some(20), Some(30)]);
     assert_eq!(outcome.failures.len(), 1);
     assert!(outcome.failures[0].recovered);
+}
+
+/// Several (cell, seed) pairs die on *both* attempts: the report lists them
+/// in flat cell-major input order, a cell that loses every replicate folds
+/// to `None`, and the survivors are untouched.
+#[test]
+fn multiple_dead_replicates_report_in_input_order() {
+    let system = FlSystemConfig::mnist_lr_quick().build(&mut Rng64::seed_from(5));
+    let outcome = run_replicated_isolated(
+        vec![MechanismChoice::AirFedAvg, MechanismChoice::AirFedGa],
+        &[4242, 4243],
+        |_, choice| choice.label().to_string(),
+        |&choice, seed| {
+            let dead = (choice == MechanismChoice::AirFedAvg && seed == 4243)
+                || choice == MechanismChoice::AirFedGa;
+            if dead {
+                panic!("always dies ({}, {seed})", choice.label());
+            }
+            let mech = choice.build(3, 1, None);
+            RunSummary::from_trace(mech.run(&system, &mut Rng64::seed_from(seed)))
+        },
+    );
+
+    // Cell 0 keeps one replicate; cell 1 lost both and folds to None.
+    assert_eq!(
+        outcome.cells[0].as_ref().expect("cell 0 survives").seeds,
+        vec![4242]
+    );
+    assert!(outcome.cells[1].is_none());
+    assert!(!outcome.is_complete());
+
+    // Both attempts ran for every dead pair, and the failures arrive in
+    // flat cell-major order regardless of parallel completion order.
+    let labels: Vec<&str> = outcome.failures.iter().map(|f| f.label.as_str()).collect();
+    assert_eq!(
+        labels,
+        vec![
+            "Air-FedAvg seed 4243",
+            "Air-FedGA seed 4242",
+            "Air-FedGA seed 4243"
+        ]
+    );
+    for f in &outcome.failures {
+        assert!(!f.recovered);
+        assert_eq!(f.attempts, 2);
+    }
+    let report = outcome.failure_report();
+    assert!(report.starts_with("3 replicate(s) panicked:"));
+    let pos = |needle: &str| report.find(needle).expect(needle);
+    assert!(pos("Air-FedAvg seed 4243") < pos("Air-FedGA seed 4242"));
+    assert!(pos("Air-FedGA seed 4242") < pos("Air-FedGA seed 4243"));
+}
+
+/// Mixed success/failure still produces a CSV — containing exactly the
+/// surviving cells' rows, never a row for a cell that lost every replicate.
+#[test]
+fn mixed_success_and_failure_yields_a_partial_csv() {
+    let system = FlSystemConfig::mnist_lr_quick().build(&mut Rng64::seed_from(5));
+    let outcome = run_replicated_isolated(
+        MechanismChoice::aircomp_trio(),
+        &[4242],
+        |_, choice| choice.label().to_string(),
+        |&choice, seed| {
+            if choice == MechanismChoice::AirFedAvg {
+                panic!("dead mechanism");
+            }
+            let mech = choice.build(3, 1, None);
+            RunSummary::from_trace(mech.run(&system, &mut Rng64::seed_from(seed)))
+        },
+    );
+
+    // Render the survivors the way the grid driver does: one row per cell
+    // that still has statistics.
+    let mut csv = String::from("mechanism,final_acc\n");
+    for stat in outcome.cells.iter().flatten() {
+        csv.push_str(&format!(
+            "{},{:.4}\n",
+            stat.mechanism,
+            stat.first().final_accuracy
+        ));
+    }
+    let path = write_csv("test_partial_fault_grid.csv", &csv).unwrap();
+    let text = std::fs::read_to_string(path).unwrap();
+    assert_eq!(text.lines().count(), 3, "header + two survivors:\n{text}");
+    assert!(text.contains("Dynamic"));
+    assert!(text.contains("Air-FedGA"));
+    assert!(!text.contains("Air-FedAvg"));
 }

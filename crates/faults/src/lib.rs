@@ -62,6 +62,14 @@ pub struct FaultSpec {
     pub deadline: Option<f64>,
     /// Virtual-time horizon traces are compiled up to.
     pub horizon: f64,
+    /// Test fault: panic at the start of this round (1-based) in every cell.
+    /// Exercises the harness's panic isolation and retry machinery end to
+    /// end; never set by the statistical presets.
+    pub inject_panic_round: Option<usize>,
+    /// Test fault: simulate an infinite loop at the start of this round
+    /// (1-based). The cell spins until a watchdog cancellation token breaks
+    /// it — meaningful only under a `[limits] cell_timeout_secs` watchdog.
+    pub inject_hang_round: Option<usize>,
 }
 
 impl Default for FaultSpec {
@@ -82,6 +90,8 @@ impl FaultSpec {
             outage_duration: 0.0,
             deadline: None,
             horizon: DEFAULT_HORIZON,
+            inject_panic_round: None,
+            inject_hang_round: None,
         }
     }
 
@@ -92,6 +102,8 @@ impl FaultSpec {
             && self.straggler_fraction == 0.0
             && self.outage_rate == 0.0
             && self.deadline.is_none()
+            && self.inject_panic_round.is_none()
+            && self.inject_hang_round.is_none()
     }
 
     /// Panic on statistically nonsensical values.
@@ -128,6 +140,12 @@ impl FaultSpec {
             assert!(d > 0.0 && d.is_finite(), "deadline must be positive");
         }
         assert!(self.horizon > 0.0, "horizon must be positive");
+        if let Some(r) = self.inject_panic_round {
+            assert!(r >= 1, "inject_panic_round is 1-based");
+        }
+        if let Some(r) = self.inject_hang_round {
+            assert!(r >= 1, "inject_hang_round is 1-based");
+        }
     }
 }
 
@@ -273,6 +291,20 @@ impl FaultPlan {
     pub fn worker(&self, w: usize) -> Option<&WorkerFaults> {
         self.workers.get(w)
     }
+
+    /// Fire any injected *test* fault scheduled for `round`: a configured
+    /// panic round panics here, a configured hang round spins until a
+    /// watchdog cancellation breaks it (see [`simcore::cancel`]). The
+    /// engines call this at every round boundary when faults are enabled;
+    /// a plan without injected rounds returns immediately.
+    pub fn injected_fault(&self, round: usize) {
+        if self.spec.inject_panic_round == Some(round) {
+            panic!("injected fault: panic at round {round}");
+        }
+        if self.spec.inject_hang_round == Some(round) {
+            simcore::cancel::hang_until_cancelled(round);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +321,7 @@ mod tests {
             outage_duration: 15.0,
             deadline: Some(500.0),
             horizon: 5_000.0,
+            ..FaultSpec::none()
         }
     }
 
@@ -414,6 +447,47 @@ mod tests {
         // No stochastic faults: every worker is healthy, just deadlined.
         assert!(plan.available(2, 50.0));
         assert_eq!(plan.slowdown(2), 1.0);
+    }
+
+    #[test]
+    fn inject_rounds_make_the_spec_active_and_fire_on_schedule() {
+        let spec = FaultSpec {
+            inject_panic_round: Some(2),
+            ..FaultSpec::none()
+        };
+        assert!(!spec.is_none(), "inject-only specs must reach the plan");
+        let plan = FaultPlan::compile(&spec, 4, &mut Rng64::seed_from(1));
+        assert!(plan.enabled());
+        plan.injected_fault(1); // other rounds are no-ops
+        plan.injected_fault(3);
+        let err = std::panic::catch_unwind(|| plan.injected_fault(2)).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(
+            msg.contains("injected fault: panic at round 2"),
+            "message was: {msg}"
+        );
+    }
+
+    #[test]
+    fn injected_hang_without_a_watchdog_panics_instead_of_stalling() {
+        let spec = FaultSpec {
+            inject_hang_round: Some(1),
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::compile(&spec, 2, &mut Rng64::seed_from(1));
+        let err = std::panic::catch_unwind(|| plan.injected_fault(1)).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("no watchdog"), "message was: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn rejects_round_zero_injection() {
+        FaultSpec {
+            inject_panic_round: Some(0),
+            ..FaultSpec::none()
+        }
+        .validate();
     }
 
     #[test]

@@ -1,0 +1,574 @@
+//! # runstore — content-addressed on-disk store of completed replicates
+//!
+//! A multi-seed grid is hours of bit-reproducible work; a crash, OOM-kill or
+//! power cut should not force any completed (cell, seed) replicate to run
+//! again. This crate persists each finished replicate's [`TrainingTrace`] —
+//! the full information content of a `RunSummary`, whose every field is
+//! derived from the trace — under a content-addressed key, and serves it
+//! back on resume:
+//!
+//! * **Addressing** — a store *spec directory* is named by the FNV-1a-128
+//!   hash of the scenario's canonical form (the fully resolved spec, scale
+//!   and CLI overrides, see [`spec_hash`]); inside it each replicate file is
+//!   named by the hash of its `(cell index, cell label, run seed, system
+//!   seed)` coordinates. Any change to the experiment changes the spec hash,
+//!   so stale results can never be served to a different experiment.
+//! * **Crash safety** — replicate files are written to a `.tmp` staging name
+//!   and renamed into place, so a torn write is never loadable; loads treat
+//!   unparseable or truncated files as misses (the replicate just re-runs).
+//!   An append-only `journal` records every store in completion order for
+//!   post-mortems; the files themselves are the source of truth.
+//! * **Bit-exactness** — every `f64` is stored as its IEEE-754 bit pattern
+//!   (16 hex digits), so a loaded trace is bit-identical to the stored one
+//!   and a resumed grid renders byte-identical tables and CSVs. (The
+//!   workspace's offline `serde` stand-in derives no real serialization, so
+//!   the codec here is hand-rolled.)
+//!
+//! [`StoreCache`] adapts a [`RunStore`] to the experiment harness's
+//! `ReplicateCache` trait; `airfedga-run --resume` wires it into the
+//! isolated runners.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use experiments::harness::{ReplicateCache, RunSummary};
+use simcore::trace::{FaultEvent, FaultEventKind, TracePoint, TrainingTrace};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Format tag at the head of every replicate file; bump on layout changes so
+/// old files read as misses instead of garbage.
+const FORMAT_HEADER: &str = "air-fedga runstore v1";
+
+/// 128-bit FNV-1a. Not cryptographic — collision resistance here only needs
+/// to separate distinct experiment coordinates, and 128 bits of FNV over
+/// short structured keys is far beyond accidental-collision range.
+#[derive(Debug, Clone)]
+pub struct Fnv128(u128);
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+impl Fnv128 {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(FNV128_OFFSET)
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        self.0
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Hash a scenario's canonical form into its store-directory name.
+pub fn spec_hash(canonical_spec: &str) -> u128 {
+    let mut h = Fnv128::new();
+    h.update(b"airfedga-spec-v1\0");
+    h.update(canonical_spec.as_bytes());
+    h.finish()
+}
+
+/// Hash one replicate's coordinates within a spec directory. The label is
+/// included so a reordering of cells (which would silently re-map indices)
+/// also re-maps the keys.
+fn replicate_key(cell_index: usize, cell_label: &str, run_seed: u64, system_seed: u64) -> u128 {
+    let mut h = Fnv128::new();
+    h.update(b"airfedga-replicate-v1\0");
+    h.update(cell_label.as_bytes());
+    h.update(&[0]);
+    h.update(&(cell_index as u64).to_le_bytes());
+    h.update(&run_seed.to_le_bytes());
+    h.update(&system_seed.to_le_bytes());
+    h.finish()
+}
+
+fn bits_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_bits_hex(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Serialize a trace to the store's line-based text format. Panics if the
+/// mechanism or workload label contains a newline (no engine label does).
+pub fn encode_trace(trace: &TrainingTrace) -> String {
+    assert!(
+        !trace.mechanism.contains('\n') && !trace.workload.contains('\n'),
+        "trace labels must be single-line"
+    );
+    let mut out = String::new();
+    out.push_str(FORMAT_HEADER);
+    out.push('\n');
+    out.push_str(&format!("mechanism {}\n", trace.mechanism));
+    out.push_str(&format!("workload {}\n", trace.workload));
+    out.push_str(&format!(
+        "counters {} {} {} {}\n",
+        trace.faults.rounds_attempted,
+        trace.faults.rounds_aggregated,
+        trace.faults.participants_total,
+        trace.faults.members_total,
+    ));
+    out.push_str(&format!("events {}\n", trace.faults.events.len()));
+    for e in &trace.faults.events {
+        let kind = match e.kind {
+            FaultEventKind::GroupSkipped => "group-skipped",
+        };
+        out.push_str(&format!(
+            "e {} {} {} {kind}\n",
+            bits_hex(e.time),
+            e.round,
+            e.group
+        ));
+    }
+    out.push_str(&format!("points {}\n", trace.points().len()));
+    for p in trace.points() {
+        out.push_str(&format!(
+            "p {} {} {} {} {}\n",
+            bits_hex(p.time),
+            p.round,
+            bits_hex(p.loss),
+            bits_hex(p.accuracy),
+            bits_hex(p.energy),
+        ));
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parse a stored trace. Returns `None` on any malformation — a corrupt or
+/// truncated file is treated as a cache miss, never an error.
+pub fn decode_trace(text: &str) -> Option<TrainingTrace> {
+    let mut lines = text.lines();
+    if lines.next()? != FORMAT_HEADER {
+        return None;
+    }
+    let mechanism = lines.next()?.strip_prefix("mechanism ")?.to_string();
+    let workload = lines.next()?.strip_prefix("workload ")?.to_string();
+    let mut trace = TrainingTrace::new(&mechanism, &workload);
+
+    let counters = lines.next()?.strip_prefix("counters ")?;
+    let mut it = counters.split(' ');
+    trace.faults.rounds_attempted = it.next()?.parse().ok()?;
+    trace.faults.rounds_aggregated = it.next()?.parse().ok()?;
+    trace.faults.participants_total = it.next()?.parse().ok()?;
+    trace.faults.members_total = it.next()?.parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+
+    let num_events: usize = lines.next()?.strip_prefix("events ")?.parse().ok()?;
+    for _ in 0..num_events {
+        let mut it = lines.next()?.strip_prefix("e ")?.split(' ');
+        let time = parse_bits_hex(it.next()?)?;
+        let round = it.next()?.parse().ok()?;
+        let group = it.next()?.parse().ok()?;
+        let kind = match it.next()? {
+            "group-skipped" => FaultEventKind::GroupSkipped,
+            _ => return None,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        trace.faults.events.push(FaultEvent {
+            time,
+            round,
+            group,
+            kind,
+        });
+    }
+
+    let num_points: usize = lines.next()?.strip_prefix("points ")?.parse().ok()?;
+    let mut last_time = f64::NEG_INFINITY;
+    for _ in 0..num_points {
+        let mut it = lines.next()?.strip_prefix("p ")?.split(' ');
+        let time = parse_bits_hex(it.next()?)?;
+        let round = it.next()?.parse().ok()?;
+        let loss = parse_bits_hex(it.next()?)?;
+        let accuracy = parse_bits_hex(it.next()?)?;
+        let energy = parse_bits_hex(it.next()?)?;
+        if it.next().is_some() {
+            return None;
+        }
+        // Pre-validate what `TrainingTrace::record` asserts, so corrupt
+        // bytes degrade to a miss instead of a panic.
+        if !time.is_finite() || !loss.is_finite() || time + 1e-9 < last_time {
+            return None;
+        }
+        last_time = time;
+        trace.record(TracePoint {
+            time,
+            round,
+            loss,
+            accuracy,
+            energy,
+        });
+    }
+    if lines.next()? != "end" || lines.next().is_some() {
+        return None;
+    }
+    Some(trace)
+}
+
+/// One scenario's slice of the on-disk run store.
+///
+/// Layout under the store root (default `runstore/` in the working
+/// directory — deliberately *not* under `results/`, which CI byte-diffs):
+///
+/// ```text
+/// runstore/
+///   <spec-hash>/            one directory per distinct experiment
+///     spec.txt              the canonical form that hashed to this dir
+///     journal               append-only log of completed replicates
+///     <replicate-hash>.run  one file per completed (cell, seed) replicate
+/// ```
+#[derive(Debug)]
+pub struct RunStore {
+    spec_dir: PathBuf,
+}
+
+impl RunStore {
+    /// Open (creating if needed) the store slice for `canonical_spec` under
+    /// `root`, keeping any replicates a previous run completed.
+    pub fn open(root: &Path, canonical_spec: &str) -> io::Result<Self> {
+        let spec_dir = root.join(format!("{:032x}", spec_hash(canonical_spec)));
+        fs::create_dir_all(&spec_dir)?;
+        // Record the canonical form for humans; same atomic discipline as
+        // the replicate files.
+        let tmp = spec_dir.join("spec.txt.tmp");
+        fs::write(&tmp, canonical_spec)?;
+        fs::rename(&tmp, spec_dir.join("spec.txt"))?;
+        Ok(Self { spec_dir })
+    }
+
+    /// Like [`RunStore::open`], but first discards everything this spec had
+    /// stored (`--fresh`).
+    pub fn fresh(root: &Path, canonical_spec: &str) -> io::Result<Self> {
+        let spec_dir = root.join(format!("{:032x}", spec_hash(canonical_spec)));
+        if spec_dir.exists() {
+            fs::remove_dir_all(&spec_dir)?;
+        }
+        Self::open(root, canonical_spec)
+    }
+
+    /// The directory this spec's replicates live in.
+    pub fn spec_dir(&self) -> &Path {
+        &self.spec_dir
+    }
+
+    fn run_path(&self, key: u128) -> PathBuf {
+        self.spec_dir.join(format!("{key:032x}.run"))
+    }
+
+    /// Load a previously completed replicate's trace, or `None` if it is
+    /// missing or unreadable (either way the caller just re-runs it).
+    pub fn load_trace(
+        &self,
+        cell_index: usize,
+        cell_label: &str,
+        run_seed: u64,
+        system_seed: u64,
+    ) -> Option<TrainingTrace> {
+        let key = replicate_key(cell_index, cell_label, run_seed, system_seed);
+        let text = fs::read_to_string(self.run_path(key)).ok()?;
+        decode_trace(&text)
+    }
+
+    /// Persist a completed replicate's trace: staged to `<key>.tmp`, fsynced,
+    /// renamed to `<key>.run`, then journalled. A crash at any point leaves
+    /// either no entry or a complete one — never a loadable torn file.
+    pub fn store_trace(
+        &self,
+        cell_index: usize,
+        cell_label: &str,
+        run_seed: u64,
+        system_seed: u64,
+        trace: &TrainingTrace,
+    ) -> io::Result<PathBuf> {
+        let key = replicate_key(cell_index, cell_label, run_seed, system_seed);
+        let tmp = self.spec_dir.join(format!("{key:032x}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(encode_trace(trace).as_bytes())?;
+            f.sync_all()?;
+        }
+        let path = self.run_path(key);
+        fs::rename(&tmp, &path)?;
+        // Advisory completion log; appended *after* the rename so a
+        // journal line always refers to a fully stored replicate.
+        let mut journal = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.spec_dir.join("journal"))?;
+        writeln!(
+            journal,
+            "{key:032x} cell={cell_index} run_seed={run_seed} system_seed={system_seed} {cell_label}"
+        )?;
+        Ok(path)
+    }
+
+    /// Number of fully stored replicates in this spec directory.
+    pub fn completed(&self) -> usize {
+        let Ok(entries) = fs::read_dir(&self.spec_dir) else {
+            return 0;
+        };
+        entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "run"))
+            .count()
+    }
+
+    /// Number of journal lines (completions recorded, in completion order).
+    pub fn journal_len(&self) -> usize {
+        fs::read_to_string(self.spec_dir.join("journal"))
+            .map(|s| s.lines().count())
+            .unwrap_or(0)
+    }
+}
+
+/// Adapter exposing a [`RunStore`] as the harness's `ReplicateCache`:
+/// loads rebuild the `RunSummary` from the stored trace (every summary
+/// field is trace-derived, so the round-trip is exact); stores persist the
+/// summary's trace and degrade to a stderr warning on I/O errors — a full
+/// disk costs durability, never the grid.
+#[derive(Debug)]
+pub struct StoreCache<'a> {
+    store: &'a RunStore,
+}
+
+impl<'a> StoreCache<'a> {
+    /// Wrap a store slice.
+    pub fn new(store: &'a RunStore) -> Self {
+        Self { store }
+    }
+}
+
+impl ReplicateCache for StoreCache<'_> {
+    fn load(
+        &self,
+        cell_index: usize,
+        cell_label: &str,
+        run_seed: u64,
+        system_seed: u64,
+    ) -> Option<RunSummary> {
+        self.store
+            .load_trace(cell_index, cell_label, run_seed, system_seed)
+            .map(RunSummary::from_trace)
+    }
+
+    fn store(
+        &self,
+        cell_index: usize,
+        cell_label: &str,
+        run_seed: u64,
+        system_seed: u64,
+        summary: &RunSummary,
+    ) {
+        if let Err(e) = self.store.store_trace(
+            cell_index,
+            cell_label,
+            run_seed,
+            system_seed,
+            &summary.trace,
+        ) {
+            eprintln!("  (run store write failed for {cell_label} seed {run_seed}: {e})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> TrainingTrace {
+        let mut t = TrainingTrace::new("Air-FedGA", "mnist-like");
+        t.faults.rounds_attempted = 5;
+        t.faults.rounds_aggregated = 4;
+        t.faults.participants_total = 37;
+        t.faults.members_total = 40;
+        t.faults.events.push(FaultEvent {
+            time: 12.125,
+            round: 3,
+            group: 1,
+            kind: FaultEventKind::GroupSkipped,
+        });
+        for (i, &(time, loss)) in [(0.5, 2.302584), (7.25, 1.0 / 3.0), (19.875, 0.1234e-7)]
+            .iter()
+            .enumerate()
+        {
+            t.record(TracePoint {
+                time,
+                round: i + 1,
+                loss,
+                accuracy: 0.1 + 0.2 * i as f64,
+                energy: 3.5 * (i as f64 + 1.0),
+            });
+        }
+        t
+    }
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("runstore_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        root
+    }
+
+    #[test]
+    fn trace_round_trips_bit_exactly() {
+        let t = sample_trace();
+        let decoded = decode_trace(&encode_trace(&t)).expect("round trip");
+        assert_eq!(decoded.mechanism, t.mechanism);
+        assert_eq!(decoded.workload, t.workload);
+        assert_eq!(decoded.faults.rounds_attempted, 5);
+        assert_eq!(decoded.faults.events.len(), 1);
+        assert_eq!(decoded.faults.events[0].time.to_bits(), 12.125f64.to_bits());
+        assert_eq!(decoded.points().len(), t.points().len());
+        for (a, b) in decoded.points().iter().zip(t.points()) {
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupt_or_truncated_files_decode_to_none() {
+        let full = encode_trace(&sample_trace());
+        assert!(decode_trace("").is_none());
+        assert!(decode_trace("not a runstore file\n").is_none());
+        // Every strict prefix (a torn write) is rejected.
+        for cut in [10, full.len() / 2, full.len() - 2] {
+            assert!(
+                decode_trace(&full[..cut]).is_none(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        // Flipping bits hex into non-finite/garbage is rejected, not panicked.
+        let garbled = full.replacen("p ", "p zzzzzzzzzzzzzzzz", 1);
+        assert!(decode_trace(&garbled).is_none());
+        let nan = full.replacen(
+            &bits_hex(0.5),
+            &bits_hex(f64::NAN), // NaN time would trip record()'s assert
+            1,
+        );
+        assert!(decode_trace(&nan).is_none());
+        assert!(decode_trace(&format!("{full}trailing\n")).is_none());
+    }
+
+    #[test]
+    fn store_and_load_share_keys_and_ignore_other_coordinates() {
+        let root = tmp_root("keys");
+        let store = RunStore::open(&root, "spec A").unwrap();
+        let t = sample_trace();
+        store.store_trace(2, "Air-FedGA", 4242, 42, &t).unwrap();
+        assert!(store.load_trace(2, "Air-FedGA", 4242, 42).is_some());
+        // Any changed coordinate is a different replicate.
+        assert!(store.load_trace(1, "Air-FedGA", 4242, 42).is_none());
+        assert!(store.load_trace(2, "Dynamic", 4242, 42).is_none());
+        assert!(store.load_trace(2, "Air-FedGA", 4243, 42).is_none());
+        assert!(store.load_trace(2, "Air-FedGA", 4242, 43).is_none());
+        // A different canonical spec lands in a different directory.
+        let other = RunStore::open(&root, "spec B").unwrap();
+        assert!(other.load_trace(2, "Air-FedGA", 4242, 42).is_none());
+        assert_ne!(store.spec_dir(), other.spec_dir());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn open_keeps_completed_replicates_and_fresh_discards_them() {
+        let root = tmp_root("fresh");
+        let store = RunStore::open(&root, "spec").unwrap();
+        store.store_trace(0, "cell", 1, 2, &sample_trace()).unwrap();
+        assert_eq!(store.completed(), 1);
+        assert_eq!(store.journal_len(), 1);
+
+        let reopened = RunStore::open(&root, "spec").unwrap();
+        assert_eq!(reopened.completed(), 1);
+        assert!(reopened.load_trace(0, "cell", 1, 2).is_some());
+
+        let fresh = RunStore::fresh(&root, "spec").unwrap();
+        assert_eq!(fresh.completed(), 0);
+        assert!(fresh.load_trace(0, "cell", 1, 2).is_none());
+        assert_eq!(fresh.journal_len(), 0);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn staged_tmp_files_are_never_loadable() {
+        let root = tmp_root("staging");
+        let store = RunStore::open(&root, "spec").unwrap();
+        // Simulate a crash between staging and rename: hand-write the tmp
+        // file a store_trace would have used.
+        let text = encode_trace(&sample_trace());
+        let key_path = {
+            store.store_trace(0, "cell", 1, 2, &sample_trace()).unwrap();
+            let p = fs::read_dir(store.spec_dir())
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .find(|e| e.path().extension().is_some_and(|x| x == "run"))
+                .unwrap()
+                .path();
+            fs::remove_file(&p).unwrap();
+            p
+        };
+        fs::write(key_path.with_extension("tmp"), &text[..text.len() / 2]).unwrap();
+        assert!(
+            store.load_trace(0, "cell", 1, 2).is_none(),
+            "a staged tmp file must read as a miss"
+        );
+        assert_eq!(store.completed(), 0);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn store_cache_round_trips_run_summaries() {
+        let root = tmp_root("cache");
+        let store = RunStore::open(&root, "spec").unwrap();
+        let cache = StoreCache::new(&store);
+        let summary = RunSummary::from_trace(sample_trace());
+        assert!(cache.load(0, "Air-FedGA", 4242, 42).is_none());
+        cache.store(0, "Air-FedGA", 4242, 42, &summary);
+        let loaded = cache.load(0, "Air-FedGA", 4242, 42).expect("cache hit");
+        assert_eq!(loaded.mechanism, summary.mechanism);
+        assert_eq!(
+            loaded.final_accuracy.to_bits(),
+            summary.final_accuracy.to_bits()
+        );
+        assert_eq!(loaded.final_loss.to_bits(), summary.final_loss.to_bits());
+        assert_eq!(loaded.total_time.to_bits(), summary.total_time.to_bits());
+        assert_eq!(
+            loaded.total_energy.to_bits(),
+            summary.total_energy.to_bits()
+        );
+        assert_eq!(loaded.rounds_survived, summary.rounds_survived);
+        assert_eq!(loaded.trace.to_csv(), summary.trace.to_csv());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn spec_hash_is_stable_and_sensitive() {
+        let a = spec_hash("spec");
+        assert_eq!(a, spec_hash("spec"), "hash must be deterministic");
+        assert_ne!(a, spec_hash("spec "), "any byte change must re-key");
+    }
+}

@@ -7,17 +7,24 @@
 //!
 //! * `--seeds N` — replicate over N run seeds (overrides `run.seeds`).
 //! * `--system-seeds` — also re-sample the system per replicate.
+//! * `--resume` — load completed replicates from the `runstore/` run store
+//!   and persist fresh ones, so a killed grid picks up where it left off.
+//! * `--fresh` — discard this scenario's stored replicates first, then
+//!   persist as `--resume` does.
 //! * `--list-components` — print the registry catalogue and exit.
 //!
 //! Scale comes from `AIRFEDGA_SCALE` (`full` / `quick`), exactly as for the
 //! figure binaries. The driver prints nothing beyond what the scenario's
 //! driver prints, so spec-driven output stays byte-comparable to the legacy
-//! binaries (CI diffs them).
+//! binaries (CI diffs them). Exit status: 0 on a clean run, 1 when the grid
+//! finished but lost replicates for good (the failure report goes to
+//! stderr), 2 on usage/parse errors.
 
 use scenario::run_scenario_str;
 use scenario::Registry;
 
-const USAGE: &str = "usage: airfedga-run <scenario.toml> [--seeds N] [--system-seeds]\n\
+const USAGE: &str = "usage: airfedga-run <scenario.toml> [--seeds N] [--system-seeds] \
+                     [--resume | --fresh]\n\
                      \u{20}      airfedga-run --list-components";
 
 /// Extract the scenario path, rejecting unknown flags and extra operands —
@@ -33,7 +40,7 @@ fn scenario_path(args: &[String]) -> Result<String, String> {
                     return Err("--seeds requires a value (e.g. --seeds 3)".to_string());
                 }
             }
-            "--system-seeds" => {}
+            "--system-seeds" | "--resume" | "--fresh" => {}
             _ if a.starts_with("--seeds=") => {}
             _ if a.starts_with('-') => {
                 return Err(format!("unknown flag `{a}`"));
@@ -75,9 +82,23 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Err(e) = run_scenario_str(&text) {
-        eprintln!("airfedga-run: {path}: {e}");
-        std::process::exit(2);
+    match run_scenario_str(&text) {
+        Ok(report) => {
+            // Failures (recovered ones included) go to stderr so stdout
+            // stays byte-comparable; unrecovered losses make the run fail.
+            let failures = report.failure_report();
+            if !failures.is_empty() {
+                eprint!("{failures}");
+            }
+            if !report.is_clean() {
+                eprintln!("airfedga-run: {path}: grid finished with unrecovered failures");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("airfedga-run: {path}: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -101,6 +122,14 @@ mod tests {
         );
         assert_eq!(
             scenario_path(&args(&["--seeds=3", "s.toml"])).unwrap(),
+            "s.toml"
+        );
+        assert_eq!(
+            scenario_path(&args(&["s.toml", "--resume"])).unwrap(),
+            "s.toml"
+        );
+        assert_eq!(
+            scenario_path(&args(&["--fresh", "s.toml"])).unwrap(),
             "s.toml"
         );
     }

@@ -14,8 +14,20 @@
 const SPEC: &str = include_str!("../../../../scenarios/fig3.toml");
 
 fn main() {
-    if let Err(e) = scenario::run_scenario_str(SPEC) {
-        eprintln!("fig3_lr_mnist: scenarios/fig3.toml: {e}");
-        std::process::exit(2);
+    match scenario::run_scenario_str(SPEC) {
+        Ok(report) => {
+            let failures = report.failure_report();
+            if !failures.is_empty() {
+                eprint!("{failures}");
+            }
+            if !report.is_clean() {
+                eprintln!("fig3_lr_mnist: finished with unrecovered failures");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("fig3_lr_mnist: scenarios/fig3.toml: {e}");
+            std::process::exit(2);
+        }
     }
 }

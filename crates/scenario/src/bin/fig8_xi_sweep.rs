@@ -15,8 +15,20 @@
 const SPEC: &str = include_str!("../../../../scenarios/fig8.toml");
 
 fn main() {
-    if let Err(e) = scenario::run_scenario_str(SPEC) {
-        eprintln!("fig8_xi_sweep: scenarios/fig8.toml: {e}");
-        std::process::exit(2);
+    match scenario::run_scenario_str(SPEC) {
+        Ok(report) => {
+            let failures = report.failure_report();
+            if !failures.is_empty() {
+                eprint!("{failures}");
+            }
+            if !report.is_clean() {
+                eprintln!("fig8_xi_sweep: finished with unrecovered failures");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("fig8_xi_sweep: scenarios/fig8.toml: {e}");
+            std::process::exit(2);
+        }
     }
 }

@@ -14,7 +14,8 @@
 //! * [`spec`] — the typed [`spec::ScenarioSpec`]: validation, defaulting,
 //!   and the deterministic sweep-axis → grid-cell expansion.
 //! * [`run`] — executing a spec through the shared figure/sweep drivers, and
-//!   the CLI glue (`--seeds` / `--system-seeds` override the spec's keys).
+//!   the CLI glue (`--seeds` / `--system-seeds` override the spec's keys;
+//!   `--resume` / `--fresh` select the crash-safe run store).
 //!
 //! Binaries:
 //!
@@ -37,8 +38,8 @@ pub mod spec;
 pub mod toml;
 
 pub use registry::Registry;
-pub use run::{run_scenario_str, CliOverrides};
-pub use spec::{ScenarioKind, ScenarioSpec};
+pub use run::{run_scenario_str, CliOverrides, ExecutionReport, StoreMode};
+pub use spec::{RunLimits, ScenarioKind, ScenarioSpec};
 
 /// An error from parsing or validating a scenario, with the 1-based source
 /// line when one is known.

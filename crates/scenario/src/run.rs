@@ -5,25 +5,54 @@
 //! paths the legacy figure binaries call, so a scenario that reproduces a
 //! figure is byte-identical to the binary. The generic `grid` kind expands
 //! the sweep cross-product ([`crate::spec::expand_grid`]) and fans the flat
-//! `(cell × seed)` list through `harness::run_replicated_isolated`, printing
-//! a summary table and writing `<csv_prefix>_grid.csv`; a panicking
-//! replicate is retried once and reported after the table instead of
-//! aborting the sweep.
+//! `(cell × seed)` list through `harness::run_replicated_isolated_plan`,
+//! printing a summary table and writing `<csv_prefix>_grid.csv`; a
+//! panicking replicate is retried per the spec's `[limits]` policy, and the
+//! failures come back in the [`ExecutionReport`] for the binary to print to
+//! stderr and fold into its exit code.
 //!
 //! CLI precedence: the `--seeds N` and `--system-seeds` flags override the
-//! spec's `run.seeds` / `run.system_seeds` keys, and `AIRFEDGA_SCALE`
-//! selects the scale exactly as it does for the figure binaries.
+//! spec's `run.seeds` / `run.system_seeds` keys, `--resume` / `--fresh`
+//! select the [`StoreMode`] (a content-addressed store under `runstore/` —
+//! see the `runstore` crate — keyed by the resolved spec, so completed
+//! replicates of an interrupted grid are loaded instead of re-run), and
+//! `AIRFEDGA_SCALE` selects the scale exactly as it does for the figure
+//! binaries.
 
 use crate::spec::{expand_grid, GridCell, ScenarioKind, ScenarioSpec};
 use crate::ScenarioError;
-use experiments::figures::{print_speedups, run_time_accuracy_figure, FigureParams};
-use experiments::harness::{run_replicated_isolated, RunSummary};
+use experiments::figures::{print_speedups, run_time_accuracy_figure_durable, FigureParams};
+use experiments::harness::{
+    run_replicated_isolated_plan, CellFailure, NoCache, ReplicateCache, RunPolicy, RunSummary,
+};
 use experiments::report::{fmt_opt_secs, fmt_secs, try_write_csv, Table};
 use experiments::scale::{seeds_flag_opt, system_seeds_flag, Scale};
 use experiments::sweeps::{
     build_sweep_mechanism, fmt_xi, run_scalability, run_xi_sweep, ScalabilityFigure, XiSweepFigure,
 };
 use fedml::rng::Rng64;
+use runstore::{RunStore, StoreCache};
+use std::path::Path;
+
+/// Root directory of the on-disk run store, relative to the working
+/// directory. Deliberately *outside* `results/` so the CI determinism jobs'
+/// `diff -r results` never see it, and `rm -rf results` between runs leaves
+/// completed replicates intact.
+pub const STORE_ROOT: &str = "runstore";
+
+/// How `--resume` / `--fresh` map onto the run store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreMode {
+    /// No store: no disk reads or writes, byte-identical to historical runs.
+    #[default]
+    Disabled,
+    /// `--resume`: load completed replicates from the store, persist fresh
+    /// ones as they finish.
+    Resume,
+    /// `--fresh`: discard any stored replicates for this spec first, then
+    /// persist as `--resume` does.
+    Fresh,
+}
 
 /// The command-line overrides a driver binary may apply on top of a spec.
 #[derive(Debug, Clone, Copy, Default)]
@@ -32,15 +61,63 @@ pub struct CliOverrides {
     pub seeds: Option<usize>,
     /// `--system-seeds`, OR-ed with the spec's `run.system_seeds`.
     pub system_seeds: bool,
+    /// `--resume` / `--fresh`, selecting the run-store mode.
+    pub store: StoreMode,
 }
 
 impl CliOverrides {
-    /// Parse the overrides from the process arguments.
-    pub fn from_args() -> Self {
-        Self {
+    /// Parse the overrides from the process arguments. `Err` is a usage
+    /// problem (conflicting flags) the binary should report and exit on.
+    pub fn from_args() -> Result<Self, String> {
+        let resume = std::env::args().any(|a| a == "--resume");
+        let fresh = std::env::args().any(|a| a == "--fresh");
+        let store = match (resume, fresh) {
+            (true, true) => {
+                return Err("--resume and --fresh are mutually exclusive".to_string());
+            }
+            (true, false) => StoreMode::Resume,
+            (false, true) => StoreMode::Fresh,
+            (false, false) => StoreMode::Disabled,
+        };
+        Ok(Self {
             seeds: seeds_flag_opt(),
             system_seeds: system_seeds_flag(),
+            store,
+        })
+    }
+}
+
+/// What a scenario execution produced beyond its stdout/CSV output: the
+/// replicate failures, for the binary to report on stderr and turn into its
+/// exit code.
+#[derive(Debug, Default)]
+pub struct ExecutionReport {
+    /// Replicate failures across the run, recovered ones included. Always
+    /// empty for the inline kinds (`xi_sweep`, `scalability`), which abort
+    /// on panic instead of isolating it.
+    pub failures: Vec<CellFailure>,
+}
+
+impl ExecutionReport {
+    /// True when no replicate was lost for good (recovered retries are
+    /// still clean — their statistics are intact).
+    pub fn is_clean(&self) -> bool {
+        self.failures.iter().all(|f| f.recovered)
+    }
+
+    /// Multi-line failure report (empty string when nothing failed), in the
+    /// same format the grid driver historically printed.
+    pub fn failure_report(&self) -> String {
+        if self.failures.is_empty() {
+            return String::new();
         }
+        let mut out = format!("{} replicate(s) panicked:\n", self.failures.len());
+        for f in &self.failures {
+            out.push_str("  - ");
+            out.push_str(&f.describe());
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -59,59 +136,142 @@ fn figure_params(spec: &ScenarioSpec, scale: Scale, cli: &CliOverrides) -> Figur
     }
 }
 
+/// The canonical form of a resolved scenario that keys its run-store slot:
+/// a versioned dump of the fully-resolved spec plus everything outside the
+/// spec text that changes results (scale, effective replication). Any
+/// difference — an edited key, a different `--seeds`, another scale —
+/// hashes to a different slot, so stale replicates can never be loaded.
+fn canonical_spec_form(spec: &ScenarioSpec, scale: Scale, params: &FigureParams) -> String {
+    format!(
+        "airfedga-scenario-v1\n{spec:?}\nscale={scale:?}\nnum_seeds={}\nvary_system={}\n",
+        params.num_seeds, params.vary_system
+    )
+}
+
+/// The per-cell retry/timeout policy: the spec's `[limits]` keys over the
+/// harness defaults (one retry, no backoff, no timeout).
+fn run_policy(spec: &ScenarioSpec) -> RunPolicy {
+    let defaults = RunPolicy::default();
+    match &spec.limits {
+        None => defaults,
+        Some(l) => RunPolicy {
+            max_retries: l.max_retries.unwrap_or(defaults.max_retries),
+            retry_backoff: l.retry_backoff.unwrap_or(defaults.retry_backoff),
+            cell_timeout: l.cell_timeout_secs,
+        },
+    }
+}
+
+/// Open (or reset) the run store for this resolved scenario, or `None` when
+/// the store is disabled.
+fn open_store(
+    spec: &ScenarioSpec,
+    scale: Scale,
+    params: &FigureParams,
+    mode: StoreMode,
+) -> Result<Option<RunStore>, ScenarioError> {
+    let canonical = canonical_spec_form(spec, scale, params);
+    let opened = match mode {
+        StoreMode::Disabled => return Ok(None),
+        StoreMode::Resume => RunStore::open(Path::new(STORE_ROOT), &canonical),
+        StoreMode::Fresh => RunStore::fresh(Path::new(STORE_ROOT), &canonical),
+    };
+    opened.map(Some).map_err(|e| {
+        ScenarioError::new(format!(
+            "[{}] cannot open the run store under `{STORE_ROOT}/`: {e}",
+            spec.name
+        ))
+    })
+}
+
 /// Execute a validated scenario at the given scale with the given CLI
 /// overrides. Prints and writes exactly what the equivalent figure binary
-/// would (no extra banners — output stays byte-comparable).
-pub fn execute(spec: &ScenarioSpec, scale: Scale, cli: &CliOverrides) {
+/// would (no extra banners — output stays byte-comparable); replicate
+/// failures come back in the [`ExecutionReport`] for the binary to print to
+/// stderr and turn into its exit code.
+pub fn execute(
+    spec: &ScenarioSpec,
+    scale: Scale,
+    cli: &CliOverrides,
+) -> Result<ExecutionReport, ScenarioError> {
     let params = figure_params(spec, scale, cli);
+    if cli.store != StoreMode::Disabled
+        && !matches!(spec.kind, ScenarioKind::TimeAccuracy | ScenarioKind::Grid)
+    {
+        return Err(ScenarioError::new(format!(
+            "[{}] --resume/--fresh apply only to time_accuracy and grid scenarios \
+             (the inline sweep kinds keep no per-replicate results to store)",
+            spec.name
+        )));
+    }
+    let policy = run_policy(spec);
+    let store = open_store(spec, scale, &params, cli.store)?;
+    let store_cache = store.as_ref().map(StoreCache::new);
+    let cache: &dyn ReplicateCache = match &store_cache {
+        Some(c) => c,
+        None => &NoCache,
+    };
     match spec.kind {
         ScenarioKind::TimeAccuracy => {
-            let outcome = run_time_accuracy_figure(
+            let run = run_time_accuracy_figure_durable(
                 &spec.title,
                 spec.base_config.clone(),
                 &spec.mechanisms,
                 &spec.accuracy_targets,
                 &spec.csv_prefix,
                 &params,
+                &policy,
+                cache,
             );
             if let Some(target) = spec.speedup_target {
-                print_speedups(&outcome, target);
+                print_speedups(&run.survivors(), target);
             }
+            Ok(ExecutionReport {
+                failures: run.failures,
+            })
         }
-        ScenarioKind::XiSweep => run_xi_sweep(
-            &XiSweepFigure {
-                title: spec.title.clone(),
-                workload: spec.base_config.clone(),
-                xis: spec.sweep_xi.clone(),
-                targets: spec.accuracy_targets.clone(),
-                csv_name: format!("{}_xi_sweep.csv", spec.csv_prefix),
-                rounds_factor: 2,
-            },
-            &params,
-        ),
-        ScenarioKind::Scalability => run_scalability(
-            &ScalabilityFigure {
-                title: spec.title.clone(),
-                workload: spec.base_config.clone(),
-                worker_counts: spec.sweep_num_workers.clone(),
-                per_worker_samples: spec.per_worker_samples,
-                target: spec.accuracy_targets[0],
-                mechanisms: spec.mechanisms.clone(),
-                csv_name: format!("{}_scalability.csv", spec.csv_prefix),
-            },
-            &params,
-        ),
-        ScenarioKind::Grid => run_grid_scenario(spec, &params),
+        ScenarioKind::XiSweep => {
+            run_xi_sweep(
+                &XiSweepFigure {
+                    title: spec.title.clone(),
+                    workload: spec.base_config.clone(),
+                    xis: spec.sweep_xi.clone(),
+                    targets: spec.accuracy_targets.clone(),
+                    csv_name: format!("{}_xi_sweep.csv", spec.csv_prefix),
+                    rounds_factor: 2,
+                },
+                &params,
+            );
+            Ok(ExecutionReport::default())
+        }
+        ScenarioKind::Scalability => {
+            run_scalability(
+                &ScalabilityFigure {
+                    title: spec.title.clone(),
+                    workload: spec.base_config.clone(),
+                    worker_counts: spec.sweep_num_workers.clone(),
+                    per_worker_samples: spec.per_worker_samples,
+                    target: spec.accuracy_targets[0],
+                    mechanisms: spec.mechanisms.clone(),
+                    csv_name: format!("{}_scalability.csv", spec.csv_prefix),
+                },
+                &params,
+            );
+            Ok(ExecutionReport::default())
+        }
+        ScenarioKind::Grid => Ok(ExecutionReport {
+            failures: run_grid_scenario(spec, &params, &policy, cache),
+        }),
     }
 }
 
 /// Parse and execute a scenario document with the binary defaults: scale
 /// from `AIRFEDGA_SCALE`, overrides from the command line. The entry point
 /// of `airfedga-run` and of the thin figure wrappers.
-pub fn run_scenario_str(src: &str) -> Result<(), ScenarioError> {
+pub fn run_scenario_str(src: &str) -> Result<ExecutionReport, ScenarioError> {
     let spec = ScenarioSpec::parse(src)?;
-    execute(&spec, Scale::from_env(), &CliOverrides::from_args());
-    Ok(())
+    let cli = CliOverrides::from_args().map_err(ScenarioError::new)?;
+    execute(&spec, Scale::from_env(), &cli)
 }
 
 /// The generic cross-product sweep: every [`GridCell`] builds its own system
@@ -119,8 +279,14 @@ pub fn run_scenario_str(src: &str) -> Result<(), ScenarioError> {
 /// `(cell × seed)` product fanned across the persistent pool. Cells derive
 /// all randomness from their own `(system_seed, run_seed)`, so the grid is
 /// bit-identical to the sequential double loop at any thread count / chunk
-/// factor.
-fn run_grid_scenario(spec: &ScenarioSpec, params: &FigureParams) {
+/// factor. Returns the replicate failures (recovered ones included) for the
+/// caller's [`ExecutionReport`].
+fn run_grid_scenario(
+    spec: &ScenarioSpec,
+    params: &FigureParams,
+    policy: &RunPolicy,
+    cache: &dyn ReplicateCache,
+) -> Vec<CellFailure> {
     let scale = params.scale;
     let plan = params.plan();
     let seeds = plan.run_seeds.clone();
@@ -185,26 +351,33 @@ fn run_grid_scenario(spec: &ScenarioSpec, params: &FigureParams) {
         parts.push(cell.mechanism.label().to_string());
         parts.join(" ")
     };
-    let outcome = run_replicated_isolated(cells.clone(), &seeds, cell_label, |cell, seed| {
-        let mech = build_sweep_mechanism(
-            cell.mechanism,
-            cell.xi,
-            rounds,
-            eval_every,
-            params.max_virtual_time,
-        );
-        if plan.vary_system {
-            let system =
-                cfg_for(cell.num_workers).build(&mut Rng64::seed_from(plan.system_seed_for(seed)));
-            RunSummary::from_trace(mech.run(&system, &mut Rng64::seed_from(seed)))
-        } else {
-            let idx = distinct_ns
-                .iter()
-                .position(|&n| n == cell.num_workers)
-                .expect("cell worker count is in distinct_ns by construction");
-            RunSummary::from_trace(mech.run(&shared[idx], &mut Rng64::seed_from(seed)))
-        }
-    });
+    let outcome = run_replicated_isolated_plan(
+        cells.clone(),
+        &plan,
+        cell_label,
+        policy,
+        cache,
+        |cell, seed| {
+            let mech = build_sweep_mechanism(
+                cell.mechanism,
+                cell.xi,
+                rounds,
+                eval_every,
+                params.max_virtual_time,
+            );
+            if plan.vary_system {
+                let system = cfg_for(cell.num_workers)
+                    .build(&mut Rng64::seed_from(plan.system_seed_for(seed)));
+                RunSummary::from_trace(mech.run(&system, &mut Rng64::seed_from(seed)))
+            } else {
+                let idx = distinct_ns
+                    .iter()
+                    .position(|&n| n == cell.num_workers)
+                    .expect("cell worker count is in distinct_ns by construction");
+                RunSummary::from_trace(mech.run(&shared[idx], &mut Rng64::seed_from(seed)))
+            }
+        },
+    );
     let stats = &outcome.cells;
 
     let replicated = seeds.len() > 1;
@@ -349,8 +522,7 @@ fn run_grid_scenario(spec: &ScenarioSpec, params: &FigureParams) {
     }
     println!("{}", table.render());
     try_write_csv(&format!("{}_grid.csv", spec.csv_prefix), &csv);
-    // Empty for a healthy run, so fault-free stdout stays byte-identical.
-    print!("{}", outcome.failure_report());
+    outcome.failures
 }
 
 #[cfg(test)]
@@ -380,16 +552,21 @@ eval_every = 2
 xi = [0.3, 1.0]
 "#;
         let spec = ScenarioSpec::parse(src).unwrap();
-        execute(&spec, Scale::Quick, &CliOverrides::default());
+        let report = execute(&spec, Scale::Quick, &CliOverrides::default()).unwrap();
+        assert!(report.is_clean());
+        assert!(report.failure_report().is_empty());
         // And replicated, with system re-sampling.
-        execute(
+        let report = execute(
             &spec,
             Scale::Quick,
             &CliOverrides {
                 seeds: Some(2),
                 system_seeds: true,
+                store: StoreMode::Disabled,
             },
-        );
+        )
+        .unwrap();
+        assert!(report.is_clean());
     }
 
     /// A grid scenario with a `[faults]` table runs end-to-end: churn plus a
@@ -423,7 +600,9 @@ xi = [0.3, 1.0]
 "#;
         let spec = ScenarioSpec::parse(src).unwrap();
         assert!(!spec.base_config.faults.is_none());
-        execute(&spec, Scale::Quick, &CliOverrides::default());
+        assert!(execute(&spec, Scale::Quick, &CliOverrides::default())
+            .unwrap()
+            .is_clean());
     }
 
     /// A time_accuracy scenario with registry components no figure binary
@@ -448,6 +627,132 @@ eval_every = 2
 speedup_target = 0.5
 "#;
         let spec = ScenarioSpec::parse(src).unwrap();
-        execute(&spec, Scale::Quick, &CliOverrides::default());
+        assert!(execute(&spec, Scale::Quick, &CliOverrides::default())
+            .unwrap()
+            .is_clean());
+    }
+
+    /// An injected panic in one cell leaves the grid's survivors intact and
+    /// comes back as an unrecovered failure in the report (retries are
+    /// disabled so the panic cannot heal) — the driver turns this into a
+    /// nonzero exit.
+    #[test]
+    fn injected_panic_surfaces_in_the_execution_report() {
+        let src = r#"
+[scenario]
+name = "test_scenario_panic"
+kind = "grid"
+title = "test injected-panic grid"
+
+[system]
+workload = "mnist_lr_quick"
+
+[faults]
+inject_panic_round = 2
+
+[run]
+mechanisms = ["air-fedga"]
+accuracy_targets = [0.5]
+rounds = 4
+eval_every = 2
+
+[sweep]
+xi = [1.0]
+
+[limits]
+max_retries = 0
+"#;
+        let spec = ScenarioSpec::parse(src).unwrap();
+        let report = execute(&spec, Scale::Quick, &CliOverrides::default()).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.failures.len(), 1);
+        assert!(!report.failures[0].recovered);
+        assert!(report.failures[0].message.contains("injected fault"));
+        let text = report.failure_report();
+        assert!(text.contains("replicate(s) panicked"));
+        assert!(text.contains("FAILED (no retry)"));
+    }
+
+    /// The crash-safe round trip: a `--fresh` run populates the store, and
+    /// a `--resume` rerun replays every replicate from disk — same clean
+    /// report, byte-identical CSV, and no new journal entries (nothing was
+    /// recomputed).
+    #[test]
+    fn fresh_then_resume_replays_identical_csv_bytes() {
+        let src = r#"
+[scenario]
+name = "test_scenario_resume"
+kind = "grid"
+title = "test resume round trip"
+
+[system]
+workload = "mnist_lr_quick"
+
+[run]
+mechanisms = ["air-fedga"]
+accuracy_targets = [0.5]
+rounds = 4
+eval_every = 2
+seeds = 2
+
+[sweep]
+xi = [0.3, 1.0]
+"#;
+        let spec = ScenarioSpec::parse(src).unwrap();
+        let fresh = CliOverrides {
+            store: StoreMode::Fresh,
+            ..CliOverrides::default()
+        };
+        assert!(execute(&spec, Scale::Quick, &fresh).unwrap().is_clean());
+        let csv = Path::new("results/test_scenario_resume_grid.csv");
+        let first = std::fs::read(csv).unwrap();
+        std::fs::remove_file(csv).unwrap();
+
+        // 2 cells × 2 seeds, all persisted by the fresh run.
+        let params = figure_params(&spec, Scale::Quick, &fresh);
+        let store = open_store(&spec, Scale::Quick, &params, StoreMode::Resume)
+            .unwrap()
+            .unwrap();
+        assert_eq!(store.completed(), 4);
+        assert_eq!(store.journal_len(), 4);
+
+        let resume = CliOverrides {
+            store: StoreMode::Resume,
+            ..CliOverrides::default()
+        };
+        assert!(execute(&spec, Scale::Quick, &resume).unwrap().is_clean());
+        assert_eq!(std::fs::read(csv).unwrap(), first);
+        // Every replicate was a cache hit — nothing was re-stored.
+        assert_eq!(store.journal_len(), 4);
+    }
+
+    /// `--resume`/`--fresh` are rejected for the inline sweep kinds, which
+    /// keep no per-replicate results to store.
+    #[test]
+    fn store_flags_are_rejected_for_inline_kinds() {
+        let src = r#"
+[scenario]
+name = "test_scenario_xi"
+kind = "xi_sweep"
+title = "test xi sweep"
+
+[system]
+workload = "mnist_lr_quick"
+
+[run]
+accuracy_targets = [0.5]
+rounds = 4
+eval_every = 2
+
+[sweep]
+xi = [1.0]
+"#;
+        let spec = ScenarioSpec::parse(src).unwrap();
+        let cli = CliOverrides {
+            store: StoreMode::Resume,
+            ..CliOverrides::default()
+        };
+        let err = execute(&spec, Scale::Quick, &cli).unwrap_err();
+        assert!(err.msg.contains("--resume/--fresh apply only"));
     }
 }

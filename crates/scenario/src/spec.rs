@@ -109,6 +109,25 @@ pub struct ScenarioSpec {
     /// Per-worker shard size of the scalability sweep
     /// (`[sweep] per_worker_samples`, default 30).
     pub per_worker_samples: usize,
+    /// Per-cell execution limits (`[limits]`; `time_accuracy` and `grid`
+    /// kinds only). `None` — no table — keeps the historical behaviour.
+    pub limits: Option<RunLimits>,
+}
+
+/// The `[limits]` table: per-cell retry/timeout policy for the isolated
+/// runners. Absent keys fall back to the harness defaults (one retry, no
+/// backoff, no timeout).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunLimits {
+    /// Wall-clock watchdog per cell attempt, seconds
+    /// (`limits.cell_timeout_secs`).
+    pub cell_timeout_secs: Option<f64>,
+    /// Bounded retries after a failed attempt (`limits.max_retries`;
+    /// 0 = fail fast).
+    pub max_retries: Option<usize>,
+    /// Base backoff in seconds between retries — retry `k` sleeps
+    /// `k * retry_backoff` first (`limits.retry_backoff`).
+    pub retry_backoff: Option<f64>,
 }
 
 /// One expanded cell of a `grid` scenario. Axis fields are `None` when the
@@ -516,6 +535,14 @@ impl ScenarioSpec {
         if let Some(v) = faults.f64_checked_opt("horizon", "positive", |x| x > 0.0)? {
             base_config.faults.horizon = v;
         }
+        // Injected test faults (1-based rounds) for watchdog / retry smoke
+        // scenarios; see `FaultSpec::injected_fault`.
+        if let Some(r) = faults.positive_usize_opt("inject_panic_round")? {
+            base_config.faults.inject_panic_round = Some(r);
+        }
+        if let Some(r) = faults.positive_usize_opt("inject_hang_round")? {
+            base_config.faults.inject_hang_round = Some(r);
+        }
         faults.finish()?;
         // Cross-field constraints the engine would otherwise only catch as a
         // panic deep inside `FlSystemConfig::build`.
@@ -608,6 +635,26 @@ impl ScenarioSpec {
             .positive_usize_opt("per_worker_samples")?
             .unwrap_or(30);
         sweep.finish()?;
+
+        // [limits] — per-cell retry/timeout policy. Optional: `None` keeps
+        // the historical run-to-completion behaviour byte-for-byte.
+        let limits = match root.table_opt("limits")? {
+            None => None,
+            Some(limits_tbl) => {
+                let lim = SpecReader::new(limits_tbl, "limits");
+                let cell_timeout_secs =
+                    lim.f64_checked_opt("cell_timeout_secs", "positive", |x| x > 0.0)?;
+                let max_retries = lim.u64_opt("max_retries")?.map(|n| n as usize);
+                let retry_backoff =
+                    lim.f64_checked_opt("retry_backoff", "non-negative", |x| x >= 0.0)?;
+                lim.finish()?;
+                Some(RunLimits {
+                    cell_timeout_secs,
+                    max_retries,
+                    retry_backoff,
+                })
+            }
+        };
         root.finish()?;
 
         let spec = Self {
@@ -630,6 +677,7 @@ impl ScenarioSpec {
             sweep_xi,
             sweep_num_workers,
             per_worker_samples,
+            limits,
         };
         spec.validate()?;
         Ok(spec)
@@ -677,6 +725,10 @@ impl ScenarioSpec {
                     self.sweep_num_workers.is_none(),
                     "xi_sweep scenarios take no num_workers axis (use kind = \"grid\")",
                 )?;
+                need(
+                    self.limits.is_none(),
+                    "xi_sweep scenarios run inline and take no [limits] table",
+                )?;
             }
             ScenarioKind::Scalability => {
                 need(
@@ -691,6 +743,10 @@ impl ScenarioSpec {
                 need(
                     self.sweep_xi.is_none(),
                     "scalability scenarios take no xi axis (use kind = \"grid\")",
+                )?;
+                need(
+                    self.limits.is_none(),
+                    "scalability scenarios run inline and take no [limits] table",
                 )?;
             }
             ScenarioKind::Grid => {
@@ -1013,5 +1069,94 @@ system_seeds = true
         let err = ScenarioSpec::parse(&format!("{FAULTS_HEADER}[faults]\noutage_rate = 0.01\n"))
             .unwrap_err();
         assert!(err.msg.contains("outage_duration"), "{}", err.msg);
+    }
+
+    #[test]
+    fn limits_table_parses_with_partial_keys_and_defaults_to_none() {
+        // No [limits] table at all → None, the historical behaviour.
+        assert_eq!(ScenarioSpec::parse(MINIMAL_GRID).unwrap().limits, None);
+
+        let spec = ScenarioSpec::parse(&format!(
+            "{MINIMAL_GRID}\n[limits]\ncell_timeout_secs = 30\nmax_retries = 2\n\
+             retry_backoff = 0.5\n"
+        ))
+        .unwrap();
+        assert_eq!(
+            spec.limits,
+            Some(RunLimits {
+                cell_timeout_secs: Some(30.0),
+                max_retries: Some(2),
+                retry_backoff: Some(0.5),
+            })
+        );
+
+        // Partial tables leave the unset keys to the harness defaults.
+        let spec =
+            ScenarioSpec::parse(&format!("{MINIMAL_GRID}\n[limits]\nmax_retries = 0\n")).unwrap();
+        assert_eq!(
+            spec.limits,
+            Some(RunLimits {
+                cell_timeout_secs: None,
+                max_retries: Some(0),
+                retry_backoff: None,
+            })
+        );
+    }
+
+    #[test]
+    fn limits_table_rejects_bad_values_and_typos() {
+        let err = ScenarioSpec::parse(&format!(
+            "{MINIMAL_GRID}\n[limits]\ncell_timeout_secs = 0\n"
+        ))
+        .unwrap_err();
+        assert!(err.msg.contains("positive"), "{}", err.msg);
+        let err = ScenarioSpec::parse(&format!("{MINIMAL_GRID}\n[limits]\nretry_backoff = -1\n"))
+            .unwrap_err();
+        assert!(err.msg.contains("non-negative"), "{}", err.msg);
+        let err =
+            ScenarioSpec::parse(&format!("{MINIMAL_GRID}\n[limits]\ntimeout = 5\n")).unwrap_err();
+        assert!(err.msg.contains("limits.timeout"), "{}", err.msg);
+    }
+
+    #[test]
+    fn limits_table_is_rejected_for_inline_kinds() {
+        let src = r#"
+[scenario]
+name = "tiny_xi"
+kind = "xi_sweep"
+title = "Tiny xi sweep"
+
+[system]
+workload = "mnist_lr_quick"
+
+[run]
+accuracy_targets = [0.5]
+rounds = 4
+eval_every = 2
+
+[sweep]
+xi = [0.1]
+
+[limits]
+max_retries = 0
+"#;
+        let err = ScenarioSpec::parse(src).unwrap_err();
+        assert!(err.msg.contains("no [limits] table"), "{}", err.msg);
+    }
+
+    #[test]
+    fn injected_fault_rounds_parse_and_reject_zero() {
+        let spec = ScenarioSpec::parse(&format!(
+            "{FAULTS_HEADER}[faults]\ninject_panic_round = 3\ninject_hang_round = 5\n"
+        ))
+        .unwrap();
+        assert_eq!(spec.base_config.faults.inject_panic_round, Some(3));
+        assert_eq!(spec.base_config.faults.inject_hang_round, Some(5));
+
+        let err = ScenarioSpec::parse(&format!(
+            "{FAULTS_HEADER}[faults]\ninject_panic_round = 0\n"
+        ))
+        .unwrap_err();
+        assert!(err.msg.contains("at least 1"), "{}", err.msg);
     }
 }

@@ -11,6 +11,9 @@ const FIG8: &str = include_str!("../../../scenarios/fig8.toml");
 const FIG10: &str = include_str!("../../../scenarios/fig10.toml");
 const JOINT: &str = include_str!("../../../scenarios/joint_xi_workers.toml");
 const DIRICHLET: &str = include_str!("../../../scenarios/dirichlet_cifar_all.toml");
+const CHURN: &str = include_str!("../../../scenarios/churn_mnist.toml");
+const OUTAGE: &str = include_str!("../../../scenarios/outage_xi_grid.toml");
+const WATCHDOG: &str = include_str!("../../../scenarios/watchdog_smoke.toml");
 
 #[test]
 fn every_committed_scenario_parses_and_validates() {
@@ -20,6 +23,9 @@ fn every_committed_scenario_parses_and_validates() {
         ("fig10", FIG10),
         ("joint_xi_workers", JOINT),
         ("dirichlet_cifar_all", DIRICHLET),
+        ("churn_mnist", CHURN),
+        ("outage_xi_grid", OUTAGE),
+        ("watchdog_smoke", WATCHDOG),
     ] {
         let spec = ScenarioSpec::parse(src)
             .unwrap_or_else(|e| panic!("scenarios/{name}.toml failed to parse: {e}"));
@@ -95,4 +101,20 @@ fn novel_scenarios_cover_combinations_no_binary_exposes() {
         dirichlet.base_config.partitioner,
         fedml::partition::Partitioner::Dirichlet { alpha: 0.3 }
     );
+}
+
+#[test]
+fn watchdog_smoke_hangs_with_a_small_timeout_and_no_retry() {
+    let spec = ScenarioSpec::parse(WATCHDOG).unwrap();
+    assert_eq!(spec.kind, ScenarioKind::Grid);
+    assert_eq!(spec.base_config.faults.inject_hang_round, Some(2));
+    assert_eq!(expand_grid(&spec).len(), 1);
+    let limits = spec.limits.expect("watchdog smoke needs [limits]");
+    // The timeout must be small (CI waits it out) and retries disabled
+    // (a hang would just hang again — CI asserts a single timely failure).
+    let timeout = limits
+        .cell_timeout_secs
+        .expect("watchdog smoke needs a cell timeout");
+    assert!(timeout <= 5.0, "keep the smoke timeout CI-friendly");
+    assert_eq!(limits.max_retries, Some(0));
 }

@@ -12,6 +12,8 @@
 //!   heterogeneity factor) and the `l_i = κ_i · l̂_i` latency model.
 //! * [`trace`] — time-series recording of loss/accuracy/energy so that the
 //!   experiment harness can regenerate the paper's figures.
+//! * [`cancel`] — cooperative cancellation tokens polled at round boundaries,
+//!   so a watchdog can break a hung grid cell without preemption.
 //!
 //! Virtual time makes runs deterministic and lets a laptop sweep worker
 //! populations that the paper needed a GPU workstation for.
@@ -19,10 +21,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cancel;
 pub mod events;
 pub mod trace;
 pub mod worker;
 
+pub use cancel::CancelToken;
 pub use events::EventQueue;
 pub use trace::{TracePoint, TrainingTrace};
 pub use worker::{HeterogeneityModel, WorkerProfile};
