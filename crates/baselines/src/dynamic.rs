@@ -92,12 +92,9 @@ impl Dynamic {
     /// round opens.
     fn select_workers_among(candidates: &[usize], gains: &[f64], k: usize) -> Vec<usize> {
         let mut order: Vec<usize> = candidates.to_vec();
-        order.sort_by(|&a, &b| {
-            gains[b]
-                .partial_cmp(&gains[a])
-                .expect("channel gains are finite")
-                .then(a.cmp(&b))
-        });
+        // total_cmp, not partial_cmp(..).expect(): a NaN gain orders
+        // deterministically instead of panicking mid-round.
+        order.sort_by(|&a, &b| gains[b].total_cmp(&gains[a]).then(a.cmp(&b)));
         order.truncate(k.min(candidates.len()));
         order.sort_unstable();
         order

@@ -102,29 +102,66 @@ mod tests {
         );
     }
 
+    /// Per-tier `(min, max)` latency ranges sorted fastest tier first.
+    ///
+    /// A NaN latency poisons its tier's range, and the sort uses
+    /// `f64::total_cmp` so poisoned tiers order deterministically after
+    /// every finite one instead of panicking — the same NaN-safety
+    /// contract as the PR-3 fix in `grouping::tifl`.
+    fn tier_latency_ranges(grouping: &Grouping, latency: impl Fn(usize) -> f64) -> Vec<(f64, f64)> {
+        let mut ranges: Vec<(f64, f64)> = (0..grouping.num_groups())
+            .map(|j| {
+                grouping
+                    .group(j)
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &w| {
+                        let l = latency(w);
+                        if l.is_nan() || lo.is_nan() {
+                            (f64::NAN, f64::NAN)
+                        } else {
+                            (lo.min(l), hi.max(l))
+                        }
+                    })
+            })
+            .collect();
+        ranges.sort_by(|a, b| a.0.total_cmp(&b.0));
+        ranges
+    }
+
     #[test]
     fn tiers_are_latency_homogeneous() {
         let system = quick_system(3);
         let mech = TiFl::new(BaselineOptions::default()).with_tiers(3);
         let grouping = mech.grouping_for(&system);
         // Fast tier's slowest member is no slower than slow tier's fastest.
-        let mut tier_ranges: Vec<(f64, f64)> = (0..grouping.num_groups())
-            .map(|j| {
-                let lat: Vec<f64> = grouping
-                    .group(j)
-                    .iter()
-                    .map(|&w| system.local_training_time(w))
-                    .collect();
-                (
-                    lat.iter().cloned().fold(f64::INFINITY, f64::min),
-                    lat.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-                )
-            })
-            .collect();
-        tier_ranges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let tier_ranges = tier_latency_ranges(&grouping, |w| system.local_training_time(w));
         for pair in tier_ranges.windows(2) {
             assert!(pair[0].1 <= pair[1].0 + 1e-9);
         }
+    }
+
+    #[test]
+    fn nan_latency_sorts_last_instead_of_panicking() {
+        // Regression for the DET-FLOATCMP class: the tier-range sort used
+        // `partial_cmp(..).unwrap()`, the exact pattern whose NaN panic
+        // PR 3 fixed in `grouping::tifl`. With `total_cmp` a poisoned
+        // tier lands deterministically in the slowest position.
+        let system = quick_system(3);
+        let mech = TiFl::new(BaselineOptions::default()).with_tiers(3);
+        let grouping = mech.grouping_for(&system);
+        let poisoned = grouping.group(0)[0];
+        let ranges = tier_latency_ranges(&grouping, |w| {
+            if w == poisoned {
+                f64::NAN
+            } else {
+                system.local_training_time(w)
+            }
+        });
+        assert_eq!(ranges.len(), 3);
+        assert!(ranges.last().unwrap().0.is_nan());
+        assert!(ranges[..2]
+            .iter()
+            .all(|r| r.0.is_finite() && r.1.is_finite()));
     }
 
     #[test]

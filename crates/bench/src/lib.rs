@@ -20,6 +20,8 @@
 //! trainer kept as the correctness oracle and perf baseline for the batched
 //! engine.
 
+#![forbid(unsafe_code)]
+
 pub mod reference;
 
 use airfedga::system::{FlSystem, FlSystemConfig};

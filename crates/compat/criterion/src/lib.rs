@@ -162,6 +162,7 @@ impl Bencher {
     /// per-sample budget, then record `sample_size` timed samples.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up: also yields a first throughput estimate.
+        // detlint: allow(DET-CLOCK) — bench harness: wall-clock measurement is the product
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
         while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
@@ -177,6 +178,7 @@ impl Bencher {
 
         let mut samples = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
+            // detlint: allow(DET-CLOCK) — bench harness: wall-clock measurement is the product
             let start = Instant::now();
             for _ in 0..iters {
                 std::hint::black_box(routine());
@@ -202,7 +204,7 @@ where
         // The closure never called iter(); nothing to record.
         return;
     };
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("bench samples are finite"));
+    samples.sort_by(|a, b| a.total_cmp(b));
     let median = if samples.len() % 2 == 1 {
         samples[samples.len() / 2]
     } else {

@@ -1,0 +1,124 @@
+//! Diagnostics: the [`Finding`] type and the human / JSON renderers.
+
+/// One diagnostic: `file:line:col [rule-id] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (`/`-separated).
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+    /// Rule identifier (one of [`crate::config::RULES`] or a pragma
+    /// meta-rule).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Render as the canonical single-line human form.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}:{} [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Sort findings deterministically: by file, then position, then rule.
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the full report as JSON (stable field and finding order).
+pub fn json_report(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"findings_total\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            f.rule,
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(file: &str, line: usize, rule: &'static str) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            col: 1,
+            rule,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn sort_is_by_file_then_position() {
+        let mut v = vec![f("b.rs", 1, "X"), f("a.rs", 9, "X"), f("a.rs", 2, "X")];
+        sort(&mut v);
+        let order: Vec<(String, usize)> = v.iter().map(|x| (x.file.clone(), x.line)).collect();
+        assert_eq!(
+            order,
+            vec![("a.rs".into(), 2), ("a.rs".into(), 9), ("b.rs".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let v = vec![Finding {
+            file: "a.rs".into(),
+            line: 1,
+            col: 1,
+            rule: "X",
+            message: "say \"hi\"\nnow".into(),
+        }];
+        let j = json_report(&v, 1);
+        assert!(j.contains("say \\\"hi\\\"\\nnow"), "{j}");
+        assert!(j.contains("\"findings_total\": 1"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let j = json_report(&[], 42);
+        assert!(j.contains("\"findings\": []"), "{j}");
+        assert!(j.contains("\"files_scanned\": 42"));
+    }
+}

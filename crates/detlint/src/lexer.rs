@@ -1,0 +1,413 @@
+//! A lightweight Rust lexer: just enough tokenisation for line-level lints.
+//!
+//! The lexer splits a source file into identifier / punctuation / literal
+//! tokens with 1-based `line:col` spans, and collects comments separately
+//! (with their full text, so the pragma parser and the SAFE-DOC rule can
+//! read them). It understands everything that would otherwise cause false
+//! positives in a grep-style scan:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings, and raw (byte) strings
+//!   with any number of `#` guards;
+//! * char literals vs. lifetimes (`'a'` is a literal, `'a` is skipped);
+//! * numeric literals including underscores, type suffixes and signed
+//!   exponents (`0x9E37_79B9`, `2.5e-3`, `1.0f64`).
+//!
+//! It is deliberately *not* a parser: the rule engine works on the flat
+//! token stream plus small look-ahead patterns, which is exactly the level
+//! of analysis the determinism lints need (see [`crate::rules`]).
+
+/// What kind of token a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `use`, `unsafe`, ...).
+    Ident,
+    /// A single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct,
+    /// A string, char, byte or numeric literal.
+    Literal,
+}
+
+/// One lexical token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token text. For literals this is the full source spelling.
+    pub text: String,
+    /// Token kind.
+    pub kind: TokenKind,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: usize,
+}
+
+/// One comment (line or block) with its source span and full text.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/* */` delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// 1-based column the comment starts at.
+    pub col: usize,
+    /// 1-based line the comment ends on (same as `line` for line comments).
+    pub end_line: usize,
+}
+
+/// The result of lexing one file: code tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens.
+    pub tokens: Vec<Token>,
+    /// All comments.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Cursor over the source characters, tracking 1-based line/column.
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Advance one character, updating line/column bookkeeping.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn text_since(&self, start: usize) -> String {
+        self.chars[start..self.i].iter().collect()
+    }
+}
+
+/// Lex one source file. The lexer never fails: malformed trailing input
+/// (e.g. an unterminated string at EOF) simply ends the token stream.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col, start) = (cur.line, cur.col, cur.i);
+
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(n) = cur.peek(0) {
+                if n == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text: cur.text_since(start),
+                line,
+                col,
+                end_line: line,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.comments.push(Comment {
+                text: cur.text_since(start),
+                line,
+                col,
+                end_line: cur.line,
+            });
+            continue;
+        }
+
+        // Raw strings: r"..." / r#"..."# / br"..." / br#"..."#.
+        if c == 'r' || (c == 'b' && cur.peek(1) == Some('r')) {
+            let prefix = if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0;
+            while cur.peek(prefix + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(prefix + hashes) == Some('"') {
+                for _ in 0..prefix + hashes + 1 {
+                    cur.bump();
+                }
+                // Scan for `"` followed by `hashes` copies of `#`.
+                'raw: while let Some(n) = cur.peek(0) {
+                    cur.bump();
+                    if n == '"' {
+                        for h in 0..hashes {
+                            if cur.peek(h) != Some('#') {
+                                continue 'raw;
+                            }
+                        }
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    text: cur.text_since(start),
+                    kind: TokenKind::Literal,
+                    line,
+                    col,
+                });
+                continue;
+            }
+        }
+
+        // Byte strings / byte chars: b"..." / b'x'.
+        let (str_start, chr_start) = if c == 'b' {
+            (cur.peek(1) == Some('"'), cur.peek(1) == Some('\''))
+        } else {
+            (c == '"', false)
+        };
+
+        if str_start {
+            if c == 'b' {
+                cur.bump();
+            }
+            cur.bump(); // opening quote
+            while let Some(n) = cur.peek(0) {
+                cur.bump();
+                if n == '\\' {
+                    cur.bump();
+                } else if n == '"' {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                text: cur.text_since(start),
+                kind: TokenKind::Literal,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        if chr_start || c == '\'' {
+            if chr_start {
+                cur.bump(); // the `b`
+            }
+            // Disambiguate char literal vs lifetime: `'x'` / `'\n'` are
+            // literals; `'a`, `'static`, `'_` (not followed by a closing
+            // quote) are lifetimes/labels and produce no token.
+            let next = cur.peek(1);
+            let lifetime = !chr_start
+                && matches!(next, Some(n) if is_ident_start(n))
+                && cur.peek(2) != Some('\'');
+            cur.bump(); // the `'`
+            if lifetime {
+                while matches!(cur.peek(0), Some(n) if is_ident_continue(n)) {
+                    cur.bump();
+                }
+                continue;
+            }
+            while let Some(n) = cur.peek(0) {
+                cur.bump();
+                if n == '\\' {
+                    cur.bump();
+                } else if n == '\'' {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                text: cur.text_since(start),
+                kind: TokenKind::Literal,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            while matches!(cur.peek(0), Some(n) if is_ident_continue(n)) {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                text: cur.text_since(start),
+                kind: TokenKind::Ident,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Numeric literals (digits, `_`, suffixes, `.` only when followed by
+        // a digit so ranges like `0..n` stay two tokens, signed exponents).
+        if c.is_ascii_digit() {
+            while let Some(n) = cur.peek(0) {
+                if n.is_ascii_alphanumeric() || n == '_' {
+                    let exp = (n == 'e' || n == 'E')
+                        && matches!(cur.peek(1), Some('+') | Some('-'))
+                        && matches!(cur.peek(2), Some(d) if d.is_ascii_digit());
+                    cur.bump();
+                    if exp {
+                        cur.bump(); // the sign
+                    }
+                } else if n == '.' && matches!(cur.peek(1), Some(d) if d.is_ascii_digit()) {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                text: cur.text_since(start),
+                kind: TokenKind::Literal,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Anything else is a single punctuation character.
+        cur.bump();
+        out.tokens.push(Token {
+            text: c.to_string(),
+            kind: TokenKind::Punct,
+            line,
+            col,
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_produce_no_tokens() {
+        let lexed = lex("// HashMap here\n/* and HashMap\n * here */ let x = 1;");
+        assert!(lexed.tokens.iter().all(|t| t.text != "HashMap"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.comments[1].end_line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let lexed = lex("/* outer /* inner */ still comment */ code");
+        assert_eq!(idents("/* outer /* inner */ still */ code"), vec!["code"]);
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.tokens[0].text, "code");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "HashMap::new()";"#), vec!["let", "s"]);
+        assert_eq!(idents(r#"let s = "esc \" HashMap";"#), vec!["let", "s"]);
+        assert_eq!(
+            idents("let s = r#\"raw HashMap \" quote\"#;"),
+            vec!["let", "s"]
+        );
+        assert_eq!(idents(r#"let s = b"bytes HashMap";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_are_distinguished() {
+        // `'a'` is a literal; `'a` in a generic list is a lifetime.
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(lexed.tokens.iter().all(|t| t.text != "a"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'x'"));
+        // Escaped quote chars don't start bogus strings.
+        assert_eq!(
+            idents(r#"let c = '\''; let d = '\"'; next"#),
+            vec!["let", "c", "let", "d", "next"]
+        );
+    }
+
+    #[test]
+    fn numeric_literals_stay_single_tokens() {
+        let lexed = lex("let x = 0x9E37_79B9 + 2.5e-3 - 1.0f64; for i in 0..n {}");
+        let lits: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec!["0x9E37_79B9", "2.5e-3", "1.0f64", "0"]);
+    }
+
+    #[test]
+    fn spans_are_one_based_and_accurate() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_a_malformed_float() {
+        let toks = lex("a.0.total_cmp(&b.0)");
+        assert!(toks.tokens.iter().any(|t| t.text == "total_cmp"));
+        assert_eq!(
+            toks.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+}

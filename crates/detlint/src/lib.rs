@@ -1,0 +1,70 @@
+//! # detlint — workspace-wide determinism & safety lints
+//!
+//! Determinism is this workspace's house invariant: parallel runs are
+//! bit-identical to sequential, replicate 0 reproduces the historical run,
+//! and spec-driven output matches the legacy binaries byte for byte. Those
+//! guarantees are enforced at runtime by CI diff matrices — but a runtime
+//! diff only catches what its scenarios happen to exercise. `detlint` makes
+//! the invariant *statically* checkable: a hand-rolled lint pass (no
+//! crates.io, same philosophy as the scenario TOML parser) that scans every
+//! Rust source and committed scenario spec for the constructions that break
+//! determinism or safety, and fails CI on any unsuppressed finding.
+//!
+//! The pieces:
+//!
+//! * [`lexer`] — a lightweight Rust lexer (comments, strings/raw strings,
+//!   char-vs-lifetime, token spans) so rules never fire inside literals.
+//! * [`uses`] — `use`-declaration tracking, so aliased imports
+//!   (`use std::collections::HashMap as Map`) are still caught.
+//! * [`rules`] — the rule engine; see [`config::RULES`] for the catalogue:
+//!   DET-HASH, DET-CLOCK, DET-RNG, DET-FLOATCMP, SAFE-HDR, SAFE-DOC.
+//! * [`pragma`] — inline suppression:
+//!   `// detlint: allow(<rule-id>) — <justification>`, where an empty
+//!   justification (or a pragma that suppresses nothing) is a hard error.
+//! * [`speclint`] — spec-lint mode: every `scenarios/*.toml` must parse and
+//!   resolve all its components against the builtin scenario registry.
+//! * [`workspace`] — file discovery; [`findings`] — diagnostics and the
+//!   human / JSON renderers.
+//!
+//! The `detlint` binary runs the whole pass over the workspace and exits
+//! nonzero on findings; CI runs it in the `static-analysis` job and keeps
+//! the repo at a zero-findings baseline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod speclint;
+pub mod uses;
+pub mod workspace;
+
+use findings::Finding;
+use std::fs;
+use std::path::Path;
+
+/// Lint everything under `root`: Rust sources plus scenario specs.
+/// Returns the sorted findings and the number of files scanned.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let discovered = workspace::discover(root)?;
+    let mut all = Vec::new();
+    let mut files = 0usize;
+    for (path, rel) in &discovered.rust {
+        let src = fs::read_to_string(path)?;
+        let opts = rules::LintOptions {
+            is_crate_root: discovered.crate_roots.contains(rel),
+        };
+        all.extend(rules::lint_source(rel, &src, opts));
+        files += 1;
+    }
+    for (path, rel) in &discovered.scenarios {
+        let src = fs::read_to_string(path)?;
+        all.extend(speclint::lint_spec(rel, &src));
+        files += 1;
+    }
+    findings::sort(&mut all);
+    Ok((all, files))
+}

@@ -1,0 +1,133 @@
+//! The `detlint` binary: lint the workspace (or specific files) and exit
+//! nonzero on findings.
+//!
+//! ```text
+//! detlint                      # lint the enclosing workspace + scenarios
+//! detlint --json               # same, machine-readable report on stdout
+//! detlint --root <dir>         # lint an explicit workspace root
+//! detlint --list-rules         # print the rule catalogue
+//! detlint <file.rs> ...        # lint specific files only
+//! ```
+//!
+//! Exit codes: `0` no findings, `1` findings, `2` usage or I/O error.
+
+use detlint::findings::{self, Finding};
+use detlint::{config, rules, speclint, workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    json: bool,
+    root: Option<PathBuf>,
+    list_rules: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        root: None,
+        list_rules: false,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root requires a directory")?;
+                args.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: detlint [--json] [--root <dir>] [--list-rules] [files...]".to_string(),
+                )
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(args)
+}
+
+fn lint_explicit_files(files: &[PathBuf]) -> std::io::Result<(Vec<Finding>, usize)> {
+    let mut all = Vec::new();
+    for path in files {
+        let rel = path.to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(path)?;
+        if rel.ends_with(".toml") {
+            all.extend(speclint::lint_spec(&rel, &src));
+        } else {
+            let opts = rules::LintOptions {
+                is_crate_root: rel.ends_with("src/lib.rs"),
+            };
+            all.extend(rules::lint_source(&rel, &src, opts));
+        }
+    }
+    findings::sort(&mut all);
+    let n = files.len();
+    Ok((all, n))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("detlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for (id, desc) in config::RULES {
+            println!("{id:14} {desc}");
+        }
+        println!();
+        println!("suppress with: // detlint: allow(<rule-id>) — <justification>");
+        return ExitCode::SUCCESS;
+    }
+
+    let result = if !args.files.is_empty() {
+        lint_explicit_files(&args.files)
+    } else {
+        let root = match args.root.or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|d| workspace::find_root(&d))
+        }) {
+            Some(r) => r,
+            None => {
+                eprintln!("detlint: no workspace root found (run inside the repo or pass --root)");
+                return ExitCode::from(2);
+            }
+        };
+        detlint::lint_workspace(&root)
+    };
+
+    let (found, files) = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        print!("{}", findings::json_report(&found, files));
+    } else {
+        for f in &found {
+            println!("{}", f.human());
+        }
+        eprintln!(
+            "detlint: {} finding(s) in {} file(s) scanned",
+            found.len(),
+            files
+        );
+    }
+    if found.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,182 @@
+//! Inline suppression pragmas.
+//!
+//! A finding may be suppressed with a comment of the form
+//!
+//! ```text
+//! // detlint: allow(DET-HASH) — justification for why this is safe
+//! ```
+//!
+//! on the line above the offending code (or trailing on the same line).
+//! The justification is **mandatory**: an empty one is a hard error
+//! ([`crate::config::PRAGMA`]), and a pragma that suppresses nothing is
+//! also an error ([`crate::config::PRAGMA_UNUSED`]) so stale suppressions
+//! cannot linger. The separator before the justification may be an em
+//! dash, `-`, `:` or just whitespace.
+
+use crate::config::{PRAGMA, SUPPRESSIBLE};
+use crate::findings::Finding;
+use crate::lexer::{Comment, Token};
+
+/// One parsed, well-formed suppression pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The rule id the pragma suppresses.
+    pub rule: &'static str,
+    /// The source line the pragma targets (the trailing-comment line, or
+    /// the first code line after a standalone comment).
+    pub target_line: Option<usize>,
+    /// Line the pragma comment starts on (for unused-pragma reporting).
+    pub line: usize,
+    /// Column the pragma comment starts at.
+    pub col: usize,
+}
+
+/// Strip comment delimiters and leading decoration from a comment's text.
+fn comment_body(text: &str) -> &str {
+    let t = text.trim();
+    let t = t
+        .strip_prefix("//!")
+        .or_else(|| t.strip_prefix("///"))
+        .or_else(|| t.strip_prefix("//"))
+        .unwrap_or(t);
+    let t = t.strip_prefix("/*").unwrap_or(t);
+    let t = t.strip_suffix("*/").unwrap_or(t);
+    t.trim()
+}
+
+/// Parse every pragma in `comments`. Well-formed pragmas are returned with
+/// their target line resolved against `tokens`; malformed ones become
+/// `PRAGMA` findings directly.
+pub fn extract(file: &str, comments: &[Comment], tokens: &[Token]) -> (Vec<Pragma>, Vec<Finding>) {
+    let mut pragmas = Vec::new();
+    let mut findings = Vec::new();
+
+    for c in comments {
+        let body = comment_body(&c.text);
+        let Some(rest) = body.strip_prefix("detlint:") else {
+            continue;
+        };
+        let mut err = |msg: String| {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: c.line,
+                col: c.col,
+                rule: PRAGMA,
+                message: msg,
+            });
+        };
+
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            err(format!(
+                "malformed pragma: expected `detlint: allow(<rule-id>) — <justification>`, \
+                 got `{body}`"
+            ));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            err("malformed pragma: unclosed `allow(`".to_string());
+            continue;
+        };
+        let id = rest[..close].trim();
+        let Some(&rule) = SUPPRESSIBLE.iter().find(|&&r| r == id) else {
+            err(format!("unknown rule id `{id}` in pragma"));
+            continue;
+        };
+        let justification = rest[close + 1..]
+            .trim_start_matches(|ch: char| {
+                ch.is_whitespace() || matches!(ch, '—' | '–' | '-' | ':' | ',')
+            })
+            .trim();
+        if justification.is_empty() {
+            err(format!(
+                "pragma for {rule} has no justification; suppressing a lint \
+                 requires saying why"
+            ));
+            continue;
+        }
+
+        // Trailing comment (code earlier on the same line) targets its own
+        // line; a standalone comment targets the first code line below it.
+        let trailing = tokens.iter().any(|t| t.line == c.line && t.col < c.col);
+        let target_line = if trailing {
+            Some(c.line)
+        } else {
+            tokens.iter().map(|t| t.line).find(|&l| l > c.end_line)
+        };
+        pragmas.push(Pragma {
+            rule,
+            target_line,
+            line: c.line,
+            col: c.col,
+        });
+    }
+
+    (pragmas, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> (Vec<Pragma>, Vec<Finding>) {
+        let lexed = lex(src);
+        extract("t.rs", &lexed.comments, &lexed.tokens)
+    }
+
+    #[test]
+    fn standalone_pragma_targets_next_code_line() {
+        let (p, f) = run("// detlint: allow(DET-HASH) — fixture uses it on purpose\nlet m = 1;\n");
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].rule, "DET-HASH");
+        assert_eq!(p[0].target_line, Some(2));
+    }
+
+    #[test]
+    fn trailing_pragma_targets_its_own_line() {
+        let (p, f) = run("let m = 1; // detlint: allow(DET-CLOCK) - bench timing\n");
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(p[0].target_line, Some(1));
+    }
+
+    #[test]
+    fn empty_justification_is_a_hard_error() {
+        let (p, f) = run("// detlint: allow(DET-HASH)\nlet m = 1;\n");
+        assert!(p.is_empty());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "PRAGMA");
+        assert!(
+            f[0].message.contains("no justification"),
+            "{}",
+            f[0].message
+        );
+        // A bare separator with nothing after it is still empty.
+        let (p2, f2) = run("// detlint: allow(DET-HASH) —\nlet m = 1;\n");
+        assert!(p2.is_empty());
+        assert_eq!(f2.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_id_is_an_error() {
+        let (p, f) = run("// detlint: allow(DET-BOGUS) — because\nlet m = 1;\n");
+        assert!(p.is_empty());
+        assert_eq!(f[0].rule, "PRAGMA");
+        assert!(f[0].message.contains("DET-BOGUS"));
+    }
+
+    #[test]
+    fn malformed_pragma_shape_is_an_error() {
+        let (_, f) = run("// detlint: alloweverything\nlet m = 1;\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_pragmas() {
+        let (p, f) = run("// plain comment mentioning detlint rules\nlet m = 1;\n");
+        assert!(p.is_empty());
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,451 @@
+//! The rule engine: six token-level lints over one lexed source file, plus
+//! pragma-based suppression.
+//!
+//! Every rule encodes an existing ROADMAP invariant (see `config::RULES` for
+//! the catalogue). Rules operate on the flat token stream from
+//! [`crate::lexer`], so string literals and comments can never produce
+//! false positives, and aliased imports are resolved through
+//! [`crate::uses::alias_map`].
+
+use crate::config::{
+    crate_of, path_allowed, rng_test_path, CLOCK_ALLOW, DETERMINISTIC_CRATES, DET_CLOCK,
+    DET_FLOATCMP, DET_HASH, DET_RNG, PRAGMA_UNUSED, RNG_ALLOW, SAFE_DOC, SAFE_HDR,
+};
+use crate::findings::Finding;
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+use crate::pragma;
+use crate::uses::alias_map;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-file lint options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintOptions {
+    /// Whether this file is a crate root (`src/lib.rs`), which SAFE-HDR
+    /// applies to.
+    pub is_crate_root: bool,
+}
+
+/// Lint one Rust source file. `rel` is the workspace-relative path with
+/// `/` separators; it selects which rules and allowlists apply.
+pub fn lint_source(rel: &str, src: &str, opts: LintOptions) -> Vec<Finding> {
+    let lexed = lex(src);
+    let mut raw: Vec<Finding> = Vec::new();
+
+    det_hash(rel, &lexed, &mut raw);
+    det_clock(rel, &lexed, &mut raw);
+    det_rng(rel, &lexed, &mut raw);
+    det_floatcmp(rel, &lexed, &mut raw);
+    if opts.is_crate_root {
+        safe_hdr(rel, &lexed, &mut raw);
+    }
+    safe_doc(rel, &lexed, &mut raw);
+
+    // Pragma pass: drop suppressed findings, surface pragma errors and
+    // unused pragmas.
+    let (pragmas, mut findings) = pragma::extract(rel, &lexed.comments, &lexed.tokens);
+    let mut used = vec![false; pragmas.len()];
+    for f in raw {
+        let suppressor = pragmas
+            .iter()
+            .position(|p| p.rule == f.rule && p.target_line == Some(f.line));
+        match suppressor {
+            Some(i) => used[i] = true,
+            None => findings.push(f),
+        }
+    }
+    for (p, used) in pragmas.iter().zip(used) {
+        if !used {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: p.line,
+                col: p.col,
+                rule: PRAGMA_UNUSED,
+                message: format!(
+                    "pragma allows {} but suppresses no finding; delete it",
+                    p.rule
+                ),
+            });
+        }
+    }
+    findings
+}
+
+fn finding(rel: &str, t: &Token, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: rel.to_string(),
+        line: t.line,
+        col: t.col,
+        rule,
+        message,
+    }
+}
+
+/// Does `tokens[i..]` start with the given `(kind, text)` sequence?
+fn seq_at(tokens: &[Token], i: usize, pat: &[(TokenKind, &str)]) -> bool {
+    pat.iter().enumerate().all(|(k, (kind, text))| {
+        tokens
+            .get(i + k)
+            .is_some_and(|t| t.kind == *kind && t.text == *text)
+    })
+}
+
+/// Index of the `)` matching the `(` at `open` (which must be a `(`).
+fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------- DET-HASH
+
+fn det_hash(rel: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    if !DETERMINISTIC_CRATES.contains(&crate_of(rel)) {
+        return;
+    }
+    let banned = ["HashMap", "HashSet"];
+    let aliases = alias_map(&lexed.tokens, &banned);
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // Skip the alias ident in `HashMap as Map` — the `HashMap` token on
+        // the same declaration already carries the finding.
+        let after_as = i > 0 && lexed.tokens[i - 1].text == "as";
+        let (name, via) = if banned.contains(&t.text.as_str()) {
+            (t.text.as_str(), None)
+        } else if let Some(orig) = aliases.get(&t.text) {
+            (orig.as_str(), Some(t.text.as_str()))
+        } else {
+            continue;
+        };
+        if after_as && via.is_some() {
+            continue;
+        }
+        let suffix = match via {
+            Some(alias) => format!(" (via alias `{alias}`)"),
+            None => String::new(),
+        };
+        out.push(finding(
+            rel,
+            t,
+            DET_HASH,
+            format!(
+                "{name}{suffix} in deterministic crate `{}`: iteration order is \
+                 unspecified; use BTreeMap/BTreeSet",
+                crate_of(rel)
+            ),
+        ));
+    }
+}
+
+// --------------------------------------------------------------- DET-CLOCK
+
+fn det_clock(rel: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    if path_allowed(rel, CLOCK_ALLOW) {
+        return;
+    }
+    let targets = ["Instant", "SystemTime"];
+    let aliases = alias_map(&lexed.tokens, &targets);
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = if targets.contains(&t.text.as_str()) {
+            t.text.as_str()
+        } else if let Some(orig) = aliases.get(&t.text) {
+            orig.as_str()
+        } else {
+            continue;
+        };
+        let flagged = match name {
+            // Instant is only a hazard when actually read.
+            "Instant" => seq_at(
+                &lexed.tokens,
+                i + 1,
+                &[
+                    (TokenKind::Punct, ":"),
+                    (TokenKind::Punct, ":"),
+                    (TokenKind::Ident, "now"),
+                ],
+            ),
+            // Any SystemTime use (it has no deterministic read at all),
+            // except inside the import declaration itself.
+            "SystemTime" => !lexed.tokens[..i]
+                .iter()
+                .rev()
+                .take_while(|p| p.text != ";" && p.text != "}")
+                .any(|p| p.kind == TokenKind::Ident && p.text == "use"),
+            _ => false,
+        };
+        if flagged {
+            out.push(finding(
+                rel,
+                t,
+                DET_CLOCK,
+                format!(
+                    "wall-clock read ({name}) outside the timing allowlist; \
+                     simulation time must be virtual"
+                ),
+            ));
+        }
+    }
+}
+
+// ----------------------------------------------------------------- DET-RNG
+
+fn det_rng(rel: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    if path_allowed(rel, RNG_ALLOW) || rng_test_path(rel) {
+        return;
+    }
+    let test_lines = test_region_lines(&lexed.tokens);
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let is_seed = t.text == "seed_from" && seq_at(toks, i + 1, &[(TokenKind::Punct, "(")]);
+        let is_fork = t.text == "fork"
+            && i > 0
+            && toks[i - 1].text == "."
+            && seq_at(toks, i + 1, &[(TokenKind::Punct, "(")]);
+        if !(is_seed || is_fork) {
+            continue;
+        }
+        if test_lines.iter().any(|r| r.contains(&t.line)) {
+            continue;
+        }
+        let Some(close) = matching_paren(toks, i + 1) else {
+            continue;
+        };
+        let arith = toks[i + 2..close].iter().find(|a| {
+            (a.kind == TokenKind::Punct
+                && matches!(a.text.as_str(), "+" | "-" | "*" | "/" | "%" | "^"))
+                || (a.kind == TokenKind::Ident
+                    && (a.text.starts_with("wrapping_") || a.text.starts_with("rotate_")))
+        });
+        if let Some(op) = arith {
+            let what = if is_seed { "seed_from" } else { "fork" };
+            out.push(finding(
+                rel,
+                t,
+                DET_RNG,
+                format!(
+                    "raw seed arithmetic (`{}`) in Rng64::{what} argument; derive \
+                     streams through a named salt constant or the harness SeedPlan",
+                    op.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Line ranges of `#[cfg(test)] mod ... { ... }` regions: DET-RNG skips
+/// them (fixed per-case seed arithmetic is the house test idiom).
+fn test_region_lines(tokens: &[Token]) -> Vec<std::ops::RangeInclusive<usize>> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let cfg_test = seq_at(
+            tokens,
+            i,
+            &[
+                (TokenKind::Punct, "#"),
+                (TokenKind::Punct, "["),
+                (TokenKind::Ident, "cfg"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Ident, "test"),
+                (TokenKind::Punct, ")"),
+                (TokenKind::Punct, "]"),
+            ],
+        );
+        if !cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip past this and any further attributes, then expect `mod`.
+        let mut j = i + 7;
+        while seq_at(
+            tokens,
+            j,
+            &[(TokenKind::Punct, "#"), (TokenKind::Punct, "[")],
+        ) {
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        if tokens.get(j).is_some_and(|t| t.text == "mod") {
+            // Find the opening brace, then its match.
+            while j < tokens.len() && tokens[j].text != "{" {
+                j += 1;
+            }
+            let start_line = tokens[i].line;
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end_line = tokens.get(j).map_or(usize::MAX, |t| t.line);
+            regions.push(start_line..=end_line);
+            i = j;
+        }
+        i += 1;
+    }
+    regions
+}
+
+// ------------------------------------------------------------ DET-FLOATCMP
+
+fn det_floatcmp(rel: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Ident || toks[i].text != "partial_cmp" {
+            continue;
+        }
+        if !seq_at(toks, i + 1, &[(TokenKind::Punct, "(")]) {
+            continue;
+        }
+        let Some(close) = matching_paren(toks, i + 1) else {
+            continue;
+        };
+        let unwrapped = seq_at(toks, close + 1, &[(TokenKind::Punct, ".")])
+            && toks
+                .get(close + 2)
+                .is_some_and(|t| t.text == "unwrap" || t.text == "expect")
+            && seq_at(toks, close + 3, &[(TokenKind::Punct, "(")]);
+        if unwrapped {
+            out.push(finding(
+                rel,
+                &toks[i],
+                DET_FLOATCMP,
+                format!(
+                    "partial_cmp(..).{}() panics on NaN (the PR-3 TiFL bug class); \
+                     use f64::total_cmp",
+                    toks[close + 2].text
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- SAFE-HDR
+
+fn safe_hdr(rel: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    let has_header = (0..toks.len()).any(|i| {
+        seq_at(
+            toks,
+            i,
+            &[
+                (TokenKind::Punct, "#"),
+                (TokenKind::Punct, "!"),
+                (TokenKind::Punct, "["),
+            ],
+        ) && toks
+            .get(i + 3)
+            .is_some_and(|t| t.text == "forbid" || t.text == "deny")
+            && seq_at(
+                toks,
+                i + 4,
+                &[
+                    (TokenKind::Punct, "("),
+                    (TokenKind::Ident, "unsafe_code"),
+                    (TokenKind::Punct, ")"),
+                    (TokenKind::Punct, "]"),
+                ],
+            )
+    });
+    if !has_header {
+        out.push(Finding {
+            file: rel.to_string(),
+            line: 1,
+            col: 1,
+            rule: SAFE_HDR,
+            message: "crate root lacks #![forbid(unsafe_code)] (or #![deny(unsafe_code)])"
+                .to_string(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------- SAFE-DOC
+
+fn safe_doc(rel: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    // Line -> has a token starting there; line -> comments overlapping it.
+    let token_lines: BTreeSet<usize> = lexed.tokens.iter().map(|t| t.line).collect();
+    let mut comment_lines: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (ci, c) in lexed.comments.iter().enumerate() {
+        for l in c.line..=c.end_line {
+            comment_lines.entry(l).or_default().push(ci);
+        }
+    }
+    let has_safety = |lines: &[usize]| {
+        lines.iter().any(|l| {
+            comment_lines.get(l).is_some_and(|cs| {
+                cs.iter()
+                    .any(|&ci| lexed.comments[ci].text.contains("SAFETY:"))
+            })
+        })
+    };
+
+    for t in &lexed.tokens {
+        if t.kind != TokenKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        // Same-line comment before the `unsafe` keyword counts.
+        let inline_ok = comment_lines.get(&t.line).is_some_and(|cs| {
+            cs.iter().any(|&ci| {
+                let c = &lexed.comments[ci];
+                c.end_line == t.line && c.col < t.col && c.text.contains("SAFETY:")
+            })
+        });
+        // Otherwise walk the dedicated comment block directly above.
+        let mut above = Vec::new();
+        let mut l = t.line.saturating_sub(1);
+        while l >= 1 && !token_lines.contains(&l) && comment_lines.contains_key(&l) {
+            above.push(l);
+            l -= 1;
+        }
+        if !(inline_ok || has_safety(&above)) {
+            out.push(finding(
+                rel,
+                t,
+                SAFE_DOC,
+                "`unsafe` without a `// SAFETY:` comment directly above".to_string(),
+            ));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Spec-lint: validate the committed `scenarios/*.toml` files.
+//!
+//! A scenario that does not parse, fails cross-key validation, or names a
+//! component the builtin [`scenario::Registry`] cannot resolve is a
+//! [`crate::config::SPEC_RESOLVE`] finding — the same class of breakage
+//! the runtime driver would hit, caught at lint time instead of when the
+//! grid is already half-run. This reuses the scenario crate's own parser
+//! and registry, so the lint can never drift from the driver's behaviour.
+
+use crate::config::SPEC_RESOLVE;
+use crate::findings::Finding;
+use scenario::ScenarioSpec;
+
+/// Lint one scenario file's source. `rel` is the workspace-relative path.
+pub fn lint_spec(rel: &str, src: &str) -> Vec<Finding> {
+    match ScenarioSpec::parse(src) {
+        Ok(_) => Vec::new(),
+        Err(e) => vec![Finding {
+            file: rel.to_string(),
+            line: e.line.unwrap_or(1),
+            col: 1,
+            rule: SPEC_RESOLVE,
+            message: format!("scenario does not resolve: {}", e.msg),
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALID: &str = "\
+[scenario]
+name = \"lint_smoke\"
+kind = \"grid\"
+title = \"Spec-lint smoke\"
+
+[system]
+workload = \"mnist_lr_quick\"
+
+[run]
+mechanisms = [\"air-fedga\"]
+accuracy_targets = [0.5]
+rounds = 4
+eval_every = 2
+
+[sweep]
+xi = [1.0]
+";
+
+    #[test]
+    fn valid_spec_produces_no_findings() {
+        assert!(lint_spec("scenarios/x.toml", VALID).is_empty());
+    }
+
+    #[test]
+    fn unknown_registry_component_is_rejected() {
+        let bad = VALID.replace("air-fedga", "warp-drive");
+        let f = lint_spec("scenarios/x.toml", &bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "SPEC-RESOLVE");
+        assert!(f[0].message.contains("warp-drive"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn parse_errors_carry_their_source_line() {
+        let bad = format!("{VALID}\n[sweep]\nxi = [2.0]\n");
+        let f = lint_spec("scenarios/x.toml", &bad);
+        assert_eq!(f.len(), 1, "duplicate table must be rejected: {f:?}");
+        assert!(
+            f[0].line > 1,
+            "line should be attributed, got {}",
+            f[0].line
+        );
+    }
+}

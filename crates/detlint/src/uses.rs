@@ -1,0 +1,114 @@
+//! `use`-declaration tracking.
+//!
+//! The DET-HASH and DET-CLOCK rules must catch aliased imports
+//! (`use std::collections::HashMap as Map;` followed by `Map::new()`), so
+//! this module walks the token stream for `use ... ;` declarations —
+//! including grouped imports with `{...}` — and records which local names
+//! are aliases of which imported items.
+
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// Map from local (possibly aliased) name to the original imported name,
+/// for every `use` item whose final segment is in `targets`.
+pub fn alias_map(tokens: &[Token], targets: &[&str]) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Ident && tokens[i].text == "use" {
+            // Collect the declaration's tokens up to the terminating `;`.
+            let start = i + 1;
+            let mut end = start;
+            while end < tokens.len() && tokens[end].text != ";" {
+                end += 1;
+            }
+            scan_use_decl(&tokens[start..end], targets, &mut out);
+            i = end;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Walk one declaration's tokens. Exact path structure does not matter for
+/// aliasing: within any `{...}` group or plain path, an item's *local* name
+/// is its last path segment, unless an `as` rename follows.
+fn scan_use_decl(decl: &[Token], targets: &[&str], out: &mut BTreeMap<String, String>) {
+    let mut last_ident: Option<&str> = None;
+    let mut j = 0;
+    while j < decl.len() {
+        let t = &decl[j];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident, "as") => {
+                if let (Some(orig), Some(alias)) = (last_ident, decl.get(j + 1)) {
+                    if targets.contains(&orig) && alias.kind == TokenKind::Ident {
+                        out.insert(alias.text.clone(), orig.to_string());
+                    }
+                }
+                last_ident = None;
+                j += 2;
+                continue;
+            }
+            (TokenKind::Ident, name) => last_ident = Some(name),
+            // An item boundary: the pending name is imported under itself.
+            (TokenKind::Punct, "," | "}" | "{") => {
+                if let Some(orig) = last_ident.take() {
+                    if targets.contains(&orig) {
+                        out.insert(orig.to_string(), orig.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if let Some(orig) = last_ident {
+        if targets.contains(&orig) {
+            out.insert(orig.to_string(), orig.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn aliases(src: &str) -> BTreeMap<String, String> {
+        alias_map(&lex(src).tokens, &["HashMap", "HashSet", "Instant"])
+    }
+
+    #[test]
+    fn plain_import_maps_to_itself() {
+        let a = aliases("use std::collections::HashMap;");
+        assert_eq!(a.get("HashMap").map(String::as_str), Some("HashMap"));
+    }
+
+    #[test]
+    fn aliased_import_is_tracked() {
+        let a = aliases("use std::collections::HashMap as Map;");
+        assert_eq!(a.get("Map").map(String::as_str), Some("HashMap"));
+        assert!(!a.contains_key("HashMap"));
+    }
+
+    #[test]
+    fn grouped_imports_with_mixed_aliases() {
+        let a = aliases("use std::collections::{HashMap as Map, HashSet, BTreeMap};");
+        assert_eq!(a.get("Map").map(String::as_str), Some("HashMap"));
+        assert_eq!(a.get("HashSet").map(String::as_str), Some("HashSet"));
+        assert!(!a.contains_key("BTreeMap"));
+    }
+
+    #[test]
+    fn unrelated_imports_are_ignored() {
+        let a = aliases("use std::time::Duration; use crate::foo::Bar as Baz;");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn nested_groups_resolve_final_segments() {
+        let a = aliases("use std::{collections::{HashMap as M}, time::Instant as I};");
+        assert_eq!(a.get("M").map(String::as_str), Some("HashMap"));
+        assert_eq!(a.get("I").map(String::as_str), Some("Instant"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Workspace discovery: which files get linted.
+//!
+//! Starting from the workspace root, the walker collects every `*.rs` file
+//! (skipping `target/`, dot-directories, and `fixtures/` directories — the
+//! golden-test corpus under `crates/detlint/tests/fixtures/` contains
+//! deliberately bad snippets), identifies crate roots (`src/lib.rs` next to
+//! a `Cargo.toml` with a `[package]` section) for the SAFE-HDR rule, and
+//! picks up the committed `scenarios/*.toml` for spec-lint mode.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything detlint scans, with workspace-relative `/`-separated paths.
+#[derive(Debug, Default)]
+pub struct Discovered {
+    /// All Rust sources, sorted by relative path.
+    pub rust: Vec<(PathBuf, String)>,
+    /// Relative paths (within `rust`) that are crate roots.
+    pub crate_roots: BTreeSet<String>,
+    /// Committed scenario spec files, sorted.
+    pub scenarios: Vec<(PathBuf, String)>,
+}
+
+/// Directories never descended into.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == "fixtures" || name.starts_with('.')
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Discovered) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                walk(root, &path, out)?;
+            }
+            continue;
+        }
+        if name == "Cargo.toml" {
+            let text = fs::read_to_string(&path)?;
+            let lib = path.parent().map(|d| d.join("src").join("lib.rs"));
+            if text.contains("[package]") {
+                if let Some(lib) = lib.filter(|l| l.is_file()) {
+                    out.crate_roots.insert(rel_of(root, &lib));
+                }
+            }
+        } else if name.ends_with(".rs") {
+            let rel = rel_of(root, &path);
+            out.rust.push((path, rel));
+        }
+    }
+    Ok(())
+}
+
+/// Discover the lintable files under `root`.
+pub fn discover(root: &Path) -> io::Result<Discovered> {
+    let mut out = Discovered::default();
+    walk(root, root, &mut out)?;
+    out.rust.sort_by(|a, b| a.1.cmp(&b.1));
+
+    let scenario_dir = root.join("scenarios");
+    if scenario_dir.is_dir() {
+        let mut specs: Vec<PathBuf> = fs::read_dir(&scenario_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+            .collect();
+        specs.sort();
+        out.scenarios = specs
+            .into_iter()
+            .map(|p| {
+                let rel = rel_of(root, &p);
+                (p, rel)
+            })
+            .collect();
+    }
+    Ok(out)
+}
+
+/// Find the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares a `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        // crates/detlint -> workspace root.
+        find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+    }
+
+    #[test]
+    fn discovers_crate_roots_and_scenarios() {
+        let d = discover(&repo_root()).unwrap();
+        assert!(d.crate_roots.contains("crates/fedml/src/lib.rs"));
+        assert!(d.crate_roots.contains("src/lib.rs"));
+        assert!(d.crate_roots.contains("crates/detlint/src/lib.rs"));
+        assert!(d.scenarios.iter().any(|(_, r)| r == "scenarios/fig3.toml"));
+        assert!(d.rust.iter().any(|(_, r)| r == "crates/fedml/src/rng.rs"));
+    }
+
+    #[test]
+    fn fixture_corpus_is_not_walked() {
+        let d = discover(&repo_root()).unwrap();
+        assert!(
+            d.rust.iter().all(|(_, r)| !r.contains("fixtures/")),
+            "fixtures must stay out of the workspace lint"
+        );
+        assert!(d.rust.iter().all(|(_, r)| !r.starts_with("target/")));
+    }
+}

@@ -1,0 +1,18 @@
+// lint-as: crates/simcore/src/lib.rs
+// A compliant crate root: forbid header present, ordered containers,
+// total_cmp sorts, named salts, SAFETY-documented unsafe. Zero findings.
+
+#![forbid(unsafe_code)]
+
+use fedml::rng::Rng64;
+use std::collections::BTreeMap;
+
+const SALT_FIXTURE: u64 = 7;
+
+fn run(v: &mut [f64]) -> BTreeMap<u32, u32> {
+    v.sort_by(|a, b| a.total_cmp(b));
+    let _rng = Rng64::seed_from(SALT_FIXTURE);
+    let _doc = "HashMap and Instant::now() in strings are invisible";
+    // HashMap and partial_cmp().unwrap() in comments are invisible too.
+    BTreeMap::new()
+}

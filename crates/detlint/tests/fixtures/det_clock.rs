@@ -1,0 +1,11 @@
+// lint-as: crates/wireless/src/fixture.rs
+// DET-CLOCK fires on Instant::now() and on any SystemTime use outside the
+// timing allowlist; the import line itself is not a finding (only reads).
+
+use std::time::{Instant, SystemTime};
+
+fn measure() -> bool {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    wall.elapsed().is_ok() && t0.elapsed().as_nanos() > 0
+}

@@ -1,0 +1,10 @@
+// lint-as: crates/airfedga/src/fixture.rs
+// DET-FLOATCMP fires on partial_cmp(..).unwrap() and .expect(..); a
+// total_cmp sort and a bare partial_cmp (handled Option) are fine.
+
+fn sorted(v: &mut [f64], a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    v.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    v.sort_by(|x, y| x.total_cmp(y));
+    a.partial_cmp(&b)
+}

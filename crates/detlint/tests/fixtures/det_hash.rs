@@ -1,0 +1,14 @@
+// lint-as: crates/simcore/src/fixture.rs
+// DET-HASH fires on direct use and through an `as` alias; mentions in
+// strings and comments must not fire.
+
+use std::collections::HashMap;
+use std::collections::HashSet as FastSet;
+
+fn build() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s = FastSet::new();
+    let _msg = "HashMap in a string is fine";
+    // HashMap in a comment is fine
+    let _ = (m, s);
+}

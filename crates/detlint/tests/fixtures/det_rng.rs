@@ -1,0 +1,24 @@
+// lint-as: crates/grouping/src/fixture.rs
+// DET-RNG fires on raw seed arithmetic in Rng64 construction/fork salts,
+// but named salt constants pass and #[cfg(test)] regions are exempt
+// (fixed per-case seed arithmetic is the house test idiom).
+
+use fedml::rng::Rng64;
+
+const SALT_GROUPING: u64 = 0x9E37_79B9;
+
+fn streams(base: u64) -> Rng64 {
+    let mut rng = Rng64::seed_from(base + 1);
+    let _sub = rng.fork(base ^ 3);
+    Rng64::seed_from(SALT_GROUPING)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_case_seed_arithmetic_is_exempt() {
+        let _ = Rng64::seed_from(1000 + 7);
+    }
+}

@@ -1,0 +1,16 @@
+// lint-as: crates/simcore/src/fixture.rs
+// Pragma semantics: a justified pragma suppresses exactly its target line;
+// a missing justification or unknown rule id is a PRAGMA error (and the
+// underlying finding survives); an unused pragma is PRAGMA-UNUSED.
+
+// detlint: allow(DET-HASH) — fixture demonstrates a justified suppression
+use std::collections::HashMap;
+
+// detlint: allow(DET-HASH) — covers both tokens on the signature line
+fn cache() -> HashMap<u32, u32> {
+    HashMap::new() // detlint: allow(DET-HASH)
+}
+
+// detlint: allow(DET-BOGUS) — no such rule
+// detlint: allow(DET-CLOCK) — suppresses nothing below
+fn noop() {}

@@ -1,0 +1,10 @@
+// lint-as: crates/parallel/src/fixture.rs
+// SAFE-DOC: an `unsafe` block without a `// SAFETY:` comment directly
+// above (or trailing before it on the same line) is a finding.
+
+fn first(v: &[u64]) -> u64 {
+    // SAFETY: caller guarantees v is non-empty.
+    let a = unsafe { *v.get_unchecked(0) };
+    let b = unsafe { *v.get_unchecked(0) };
+    a + b
+}

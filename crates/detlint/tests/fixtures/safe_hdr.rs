@@ -1,0 +1,7 @@
+// lint-as: crates/simcore/src/lib.rs
+// SAFE-HDR: a crate root without #![forbid(unsafe_code)] (or deny) is a
+// finding, reported at 1:1.
+
+pub fn entirely_safe_but_undeclared() -> u32 {
+    42
+}

@@ -1,0 +1,118 @@
+//! Golden corpus: every rule is proven to fire on a known-bad fixture.
+//!
+//! Each fixture under `tests/fixtures/` carries a `// lint-as: <path>`
+//! header selecting the workspace-relative path it is linted *as* (rule
+//! scoping and allowlists key off the path), and a sibling `.expected`
+//! file listing the findings as `line:col RULE-ID` lines. TOML fixtures
+//! are linted as `scenarios/<name>.toml` through spec-lint.
+//!
+//! The workspace walker skips `fixtures` directories, so this corpus can
+//! never leak into the zero-findings baseline it exists to protect.
+
+use detlint::findings;
+use detlint::rules::{lint_source, LintOptions};
+use detlint::speclint;
+use std::path::Path;
+
+/// Lint one fixture and render findings as `line:col RULE-ID` lines.
+fn lint_fixture(path: &Path, src: &str) -> Vec<String> {
+    let name = path.file_name().unwrap().to_string_lossy().into_owned();
+    let mut found = if name.ends_with(".toml") {
+        speclint::lint_spec(&format!("scenarios/{name}"), src)
+    } else {
+        let rel = src
+            .lines()
+            .next()
+            .and_then(|l| l.trim().strip_prefix("// lint-as:"))
+            .map(str::trim)
+            .unwrap_or_else(|| panic!("{name}: missing `// lint-as:` header"))
+            .to_string();
+        let opts = LintOptions {
+            is_crate_root: rel.ends_with("src/lib.rs"),
+        };
+        lint_source(&rel, src, opts)
+    };
+    findings::sort(&mut found);
+    found
+        .iter()
+        .map(|f| format!("{}:{} {}", f.line, f.col, f.rule))
+        .collect()
+}
+
+/// The non-comment, non-empty lines of a `.expected` file.
+fn expected_lines(src: &str) -> Vec<String> {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+fn fixture_paths() -> Vec<std::path::PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs" || e == "toml"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn golden_corpus_matches_expected() {
+    let mut failures = Vec::new();
+    let paths = fixture_paths();
+    assert!(paths.len() >= 9, "corpus shrank: {} fixtures", paths.len());
+    for path in &paths {
+        let src = std::fs::read_to_string(path).expect("fixture");
+        let got = lint_fixture(path, &src);
+        let exp_path = path.with_extension("expected");
+        let want = expected_lines(
+            &std::fs::read_to_string(&exp_path)
+                .unwrap_or_else(|_| panic!("missing {}", exp_path.display())),
+        );
+        if got != want {
+            failures.push(format!(
+                "{}:\n  got:  {got:?}\n  want: {want:?}",
+                path.file_name().unwrap().to_string_lossy()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden mismatches:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Every rule in the catalogue (plus the two pragma meta-rules) must fire
+/// at least once across the corpus, so a rule can never silently rot into
+/// a no-op.
+#[test]
+fn every_rule_fires_somewhere_in_the_corpus() {
+    let mut fired = std::collections::BTreeSet::new();
+    for path in fixture_paths() {
+        let src = std::fs::read_to_string(&path).expect("fixture");
+        for line in lint_fixture(&path, &src) {
+            let rule = line.split(' ').nth(1).expect("line:col RULE").to_string();
+            fired.insert(rule);
+        }
+    }
+    for rule in [
+        "DET-HASH",
+        "DET-CLOCK",
+        "DET-RNG",
+        "DET-FLOATCMP",
+        "SAFE-HDR",
+        "SAFE-DOC",
+        "SPEC-RESOLVE",
+        "PRAGMA",
+        "PRAGMA-UNUSED",
+    ] {
+        assert!(
+            fired.contains(rule),
+            "no fixture exercises {rule}; fired: {fired:?}"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! The committed workspace itself lints clean — the zero-findings baseline
+//! the CI `static-analysis` job enforces. Any new violation (say,
+//! reintroducing a `partial_cmp(..).unwrap()` sort) fails this test before
+//! it ever reaches CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = detlint::workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("detlint must live inside the workspace");
+    let (found, files) = detlint::lint_workspace(&root).expect("workspace walk");
+    assert!(files > 100, "walker lost files: scanned only {files}");
+    assert!(
+        found.is_empty(),
+        "expected zero findings, got {}:\n{}",
+        found.len(),
+        found
+            .iter()
+            .map(|f| f.human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -64,15 +64,11 @@ fn main() {
                 .iter()
                 .map(|&w| system.local_training_time(w))
                 .collect();
-            lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            lat.sort_by(|a, b| a.total_cmp(b));
             (j, lat)
         })
         .collect();
-    group_latencies.sort_by(|a, b| {
-        quantile(&a.1, 0.5)
-            .partial_cmp(&quantile(&b.1, 0.5))
-            .expect("finite medians")
-    });
+    group_latencies.sort_by(|a, b| quantile(&a.1, 0.5).total_cmp(&quantile(&b.1, 0.5)));
 
     for (display_idx, (j, lat)) in group_latencies.iter().enumerate() {
         table.add_row(vec![

@@ -81,7 +81,7 @@ fn main() {
     let mut latencies: Vec<f64> = (0..n_large)
         .map(|i| system.local_training_time(i))
         .collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    latencies.sort_by(|a, b| a.total_cmp(b));
     let median = latencies[n_large / 2];
     let max = latencies[n_large - 1];
     let idle_sync = 1.0 - median / max;
@@ -97,7 +97,7 @@ fn main() {
                     .collect::<Vec<_>>()
             })
             .collect();
-        fractions.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        fractions.sort_by(|a, b| a.total_cmp(b));
         fractions[fractions.len() / 2]
     };
 

@@ -1400,13 +1400,13 @@ mod tests {
     /// statistics must be bit-identical either way.
     #[test]
     fn replicate_cache_hits_skip_recomputation() {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Mutex;
 
         #[derive(Default)]
         struct MapCache {
-            map: Mutex<HashMap<(usize, String, u64, u64), RunSummary>>,
+            map: Mutex<BTreeMap<(usize, String, u64, u64), RunSummary>>,
         }
         impl ReplicateCache for MapCache {
             fn load(
