@@ -209,6 +209,7 @@ pub fn run_group_async(
     });
 
     for round in 1..=opts.total_rounds {
+        let _round_span = telemetry::span!("round", round);
         // Round boundary: honour a watchdog cancellation (no-op without an
         // installed token) and any injected test fault. Neither touches
         // floats or RNG state, so instrumented runs stay bit-identical.
@@ -291,9 +292,13 @@ pub fn run_group_async(
         // Local training: every participating member trains from the model
         // version its group received at dispatch time, in parallel across the
         // group's members when enabled.
-        pool.train_members(participants, &dispatch_params[j], system, opts.parallel);
+        {
+            let _train_span = telemetry::span!("train", participants.len());
+            pool.train_members(participants, &dispatch_params[j], system, opts.parallel);
+        }
 
         // Aggregate the group's local models into the group estimate.
+        let agg_span = telemetry::span!("aggregate", participants.len());
         match opts.aggregation {
             AggregationMode::AirComp {
                 power_control,
@@ -362,9 +367,11 @@ pub fn run_group_async(
         // Asynchronous global update (Eq. (10)) and staleness bookkeeping.
         apply_group_update_in_place(&mut global, &group_estimate, group_data, total_data);
         staleness.record_aggregation(j, round);
+        drop(agg_span);
 
         // Periodic evaluation (batched loss + accuracy in one pass).
         if round % opts.eval_every == 0 || round == opts.total_rounds {
+            let _eval_span = telemetry::span!("eval", round);
             template.set_params(&global);
             let stats = template.evaluate_ws(&system.test, &mut eval_ws);
             trace.record(TracePoint {
@@ -378,6 +385,7 @@ pub fn run_group_async(
 
         // Re-dispatch the fresh global model to the group and schedule its
         // next ready event.
+        let _dispatch_span = telemetry::span!("dispatch", j);
         dispatch_params[j].clone_from(&global);
         let next_dispatch = aggregation_time + wireless.broadcast_latency;
         let latency = if fault_on {

@@ -143,6 +143,7 @@ impl FlMechanism for Dynamic {
 
         let mut now = 0.0;
         for round in 1..=cfg.options.total_rounds {
+            let _round_span = telemetry::span!("round", round);
             // Round boundary: honour a watchdog cancellation and any
             // injected test fault (see the group-async engine).
             simcore::cancel::checkpoint(round);
@@ -152,6 +153,7 @@ impl FlMechanism for Dynamic {
             // The scheduler observes this round's channel gains and selects
             // the best-channel subset (among the workers that are up, under
             // fault injection).
+            let dispatch_span = telemetry::span!("dispatch", round);
             let gains = system.channel.draw_round(rng);
             let dispatch = now;
             let selected = if fault_on {
@@ -206,6 +208,7 @@ impl FlMechanism for Dynamic {
             } else {
                 &selected
             };
+            drop(dispatch_span);
 
             data_sizes.clear();
             data_sizes.extend(participants.iter().map(|&w| system.shards[w].len() as f64));
@@ -230,7 +233,11 @@ impl FlMechanism for Dynamic {
 
             // Participating workers train from the current global model (in
             // parallel when enabled).
-            pool.train_members(participants, &global, system, cfg.options.parallel);
+            {
+                let _train_span = telemetry::span!("train", participants.len());
+                pool.train_members(participants, &global, system, cfg.options.parallel);
+            }
+            let agg_span = telemetry::span!("aggregate", participants.len());
             now += round_wait + aggregation_latency + wireless.broadcast_latency;
             if let Some(limit) = cfg.options.max_virtual_time {
                 if now > limit {
@@ -280,8 +287,10 @@ impl FlMechanism for Dynamic {
             }
             ledger.finish_round();
             apply_group_update_in_place(&mut global, &group_estimate, group_data, total_data);
+            drop(agg_span);
 
             if round % cfg.options.eval_every == 0 || round == cfg.options.total_rounds {
+                let _eval_span = telemetry::span!("eval", round);
                 template.set_params(&global);
                 let stats = template.evaluate_ws(&system.test, &mut eval_ws);
                 trace.record(TracePoint {

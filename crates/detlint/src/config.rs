@@ -37,7 +37,7 @@ pub const RULES: &[(&str, &str)] = &[
     (
         DET_CLOCK,
         "Instant::now/SystemTime only in timing modules (experiments::watchdog, \
-         bench, runstore); simulation time is virtual",
+         bench, runstore, telemetry); simulation time is virtual",
     ),
     (
         DET_RNG,
@@ -93,11 +93,15 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 
 /// Path prefixes (workspace-relative, `/`-separated) where DET-CLOCK does
 /// not apply: the watchdog monitor measures real elapsed time by design,
-/// and the bench/runstore layers live outside simulated time.
+/// the bench/runstore layers live outside simulated time, and the telemetry
+/// crate's timing plane (spans, progress ETA) is wall-clock by definition —
+/// its logical plane never touches a clock, and none of its output feeds
+/// the bit-identity diffs.
 pub const CLOCK_ALLOW: &[&str] = &[
     "crates/bench/",
     "crates/experiments/src/watchdog.rs",
     "crates/runstore/",
+    "crates/telemetry/",
 ];
 
 /// Path prefixes where DET-RNG does not apply: the fault compiler and the

@@ -351,8 +351,56 @@ impl RunPolicy {
     }
 }
 
+thread_local! {
+    /// True while this thread is inside an isolated cell attempt whose panic
+    /// will be caught, labelled and re-reported deterministically.
+    static ISOLATED_ATTEMPT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static QUIET_HOOK: std::sync::Once = std::sync::Once::new();
+
+/// Install (once) a panic hook that stays silent for panics raised inside an
+/// isolated cell attempt. Without this, worker threads print the default
+/// "thread panicked" dump at panic time — interleaving with other cells'
+/// output in schedule order — even though the panic is caught and re-emitted
+/// in the sorted failure report. Panics outside isolated attempts (real bugs,
+/// test failures) still reach the previous hook untouched.
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !ISOLATED_ATTEMPT.with(std::cell::Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Re-arms the previous quiet-flag state on drop (attempts can nest through
+/// the pool's help-first caller participation).
+struct IsolatedFlagGuard {
+    prev: bool,
+}
+
+impl IsolatedFlagGuard {
+    fn set() -> Self {
+        Self {
+            prev: ISOLATED_ATTEMPT.with(|f| f.replace(true)),
+        }
+    }
+}
+
+impl Drop for IsolatedFlagGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        ISOLATED_ATTEMPT.with(|f| f.set(prev));
+    }
+}
+
 /// One isolated attempt at a cell, under the policy's watchdog if any.
 fn attempt_cell<R>(policy: &RunPolicy, f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_hook();
+    let _quiet = IsolatedFlagGuard::set();
     let _watch = policy.cell_timeout.map(crate::watchdog::watch);
     catch_unwind(AssertUnwindSafe(f)).map_err(|payload| panic_message(&*payload))
 }
@@ -415,7 +463,9 @@ impl<R> GridOutcome<R> {
         self.results.iter().all(Option::is_some)
     }
 
-    /// Multi-line failure report (empty string when nothing failed).
+    /// Multi-line failure report (empty string when nothing failed). Lines
+    /// are sorted by (cell index, label) so reruns diff cleanly no matter
+    /// what order the parallel pass surfaced the failures in.
     pub fn failure_report(&self) -> String {
         if self.failures.is_empty() {
             return String::new();
@@ -427,13 +477,22 @@ impl<R> GridOutcome<R> {
             self.results.len(),
             lost
         );
-        for f in &self.failures {
+        for f in sorted_failures(&self.failures) {
             out.push_str("  - ");
             out.push_str(&f.describe());
             out.push('\n');
         }
         out
     }
+}
+
+/// Failures ordered by (cell index, label) — the deterministic report order.
+/// For replicated grids the index is the flat (cell × seed) coordinate, so
+/// this is exactly (cell index, seed) order.
+fn sorted_failures(failures: &[CellFailure]) -> Vec<&CellFailure> {
+    let mut sorted: Vec<&CellFailure> = failures.iter().collect();
+    sorted.sort_by(|a, b| a.index.cmp(&b.index).then_with(|| a.label.cmp(&b.label)));
+    sorted
 }
 
 /// [`run_grid`] with per-cell panic isolation: a panicking cell no longer
@@ -474,8 +533,16 @@ where
 {
     let cells_ref = &cells;
     let run_ref = &run_cell;
+    let progress = telemetry::progress::Reporter::new("cells", cells.len());
+    let progress_ref = &progress;
     let first_pass: Vec<Result<R, String>> = run_grid((0..cells.len()).collect(), |i| {
-        attempt_cell(policy, || run_ref(&cells_ref[i]))
+        let _scope = telemetry::spans::scope(i as i64, -1, 0);
+        let _span = telemetry::span!("cell", i);
+        let attempt = attempt_cell(policy, || run_ref(&cells_ref[i]));
+        if attempt.is_ok() {
+            progress_ref.done(true);
+        }
+        attempt
     });
     let mut results: Vec<Option<R>> = Vec::with_capacity(cells.len());
     let mut failures: Vec<CellFailure> = Vec::new();
@@ -489,13 +556,18 @@ where
                 let mut recovered_result = None;
                 while recovered_result.is_none() && attempts <= policy.max_retries {
                     policy.backoff_sleep(attempts);
+                    telemetry::metrics::HARNESS_RETRIES.add(1);
+                    progress.retried();
                     attempts += 1;
+                    let _scope = telemetry::spans::scope(index as i64, -1, (attempts - 1) as u32);
+                    let _span = telemetry::span!("cell", index);
                     match attempt_cell(policy, || run_cell(&cells[index])) {
                         Ok(result) => recovered_result = Some(result),
                         Err(message) => last_message = message,
                     }
                 }
                 let recovered = recovered_result.is_some();
+                progress.done(recovered);
                 failures.push(CellFailure {
                     index,
                     label: label(index, &cells[index]),
@@ -513,6 +585,7 @@ where
             }
         }
     }
+    progress.finish();
     GridOutcome { results, failures }
 }
 
@@ -578,13 +651,14 @@ impl ReplicatedOutcome {
         self.failures.iter().all(|f| f.recovered)
     }
 
-    /// Multi-line failure report (empty string when nothing failed).
+    /// Multi-line failure report (empty string when nothing failed). Sorted
+    /// by the flat (cell index, seed) coordinate — see [`sorted_failures`].
     pub fn failure_report(&self) -> String {
         if self.failures.is_empty() {
             return String::new();
         }
         let mut out = format!("{} replicate(s) panicked:\n", self.failures.len());
-        for f in &self.failures {
+        for f in sorted_failures(&self.failures) {
             out.push_str("  - ");
             out.push_str(&f.describe());
             out.push('\n');
@@ -662,11 +736,15 @@ where
         .collect();
 
     // Cache pass: load completed replicates, queue the rest.
+    let progress = telemetry::progress::Reporter::new("cells", pairs.len());
     let mut results: Vec<Option<RunSummary>> = Vec::with_capacity(pairs.len());
     let mut todo: Vec<usize> = Vec::new();
     for (flat, &(ci, seed)) in pairs.iter().enumerate() {
         match cache.load(ci, &cell_labels[ci], seed, plan.system_seed_for(seed)) {
-            Some(summary) => results.push(Some(summary)),
+            Some(summary) => {
+                progress.cached();
+                results.push(Some(summary));
+            }
             None => {
                 results.push(None);
                 todo.push(flat);
@@ -681,8 +759,11 @@ where
     let labels_ref = &cell_labels;
     let pairs_ref = &pairs;
     let run_ref = &run_cell;
+    let progress_ref = &progress;
     let first_pass: Vec<Result<RunSummary, String>> = run_grid(todo.clone(), |flat| {
         let (ci, seed) = pairs_ref[flat];
+        let _scope = telemetry::spans::scope(ci as i64, seed as i64, 0);
+        let _span = telemetry::span!("replicate", seed);
         let attempt = attempt_cell(policy, || run_ref(&cells_ref[ci], seed));
         if let Ok(summary) = &attempt {
             cache.store(
@@ -692,6 +773,7 @@ where
                 plan.system_seed_for(seed),
                 summary,
             );
+            progress_ref.done(true);
         }
         attempt
     });
@@ -708,7 +790,12 @@ where
                 let mut recovered_summary = None;
                 while recovered_summary.is_none() && attempts <= policy.max_retries {
                     policy.backoff_sleep(attempts);
+                    telemetry::metrics::HARNESS_RETRIES.add(1);
+                    progress.retried();
                     attempts += 1;
+                    let _scope =
+                        telemetry::spans::scope(ci as i64, seed as i64, (attempts - 1) as u32);
+                    let _span = telemetry::span!("replicate", seed);
                     match attempt_cell(policy, || run_cell(&cells[ci], seed)) {
                         Ok(summary) => {
                             cache.store(
@@ -724,6 +811,7 @@ where
                     }
                 }
                 let recovered = recovered_summary.is_some();
+                progress.done(recovered);
                 failures.push(CellFailure {
                     index: flat,
                     label: format!("{} seed {}", cell_labels[ci], seed),
@@ -739,6 +827,7 @@ where
             }
         }
     }
+    progress.finish();
 
     // Fold per cell over the surviving replicates.
     let mut flat_iter = results.into_iter();

@@ -51,6 +51,7 @@ fn monitor_loop() {
                 return false; // cell finished; guard disarmed it
             }
             if e.deadline <= now {
+                telemetry::metrics::WATCHDOG_CANCELS.add(1);
                 e.token.cancel();
                 return false;
             }

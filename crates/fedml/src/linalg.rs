@@ -244,6 +244,16 @@ pub fn norm(x: &[f64]) -> f64 {
     norm_sq(x).sqrt()
 }
 
+/// Count one GEMM call of volume `m·n·k` against `counter` (telemetry's
+/// logical plane; a single load + branch when telemetry is off).
+#[inline(always)]
+fn tally_gemm(counter: &'static telemetry::metrics::Counter, m: usize, n: usize, k: usize) {
+    if telemetry::enabled() {
+        counter.add(1);
+        telemetry::metrics::GEMM_MNK.record((m as u64) * (n as u64) * (k as u64));
+    }
+}
+
 /// `C = A · Bᵀ` where `a` is `m × k`, `b` is `n × k` and `c` is `m × n`, all
 /// row-major. This is the forward-pass kernel (`Z = X · Wᵀ`): both operands
 /// are traversed along contiguous rows.
@@ -256,6 +266,7 @@ pub fn gemm_nt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize
     assert_eq!(a.len(), m * k, "gemm_nt: A must be {m}x{k}");
     assert_eq!(b.len(), n * k, "gemm_nt: B must be {n}x{k}");
     assert_eq!(c.len(), m * n, "gemm_nt: C must be {m}x{n}");
+    tally_gemm(&telemetry::metrics::GEMM_NT, m, n, k);
     let mut i = 0;
     while i + 2 <= m {
         let a0 = &a[i * k..(i + 1) * k];
@@ -316,6 +327,7 @@ pub fn gemm_nt_packed(
     pack: &mut [f64],
 ) {
     assert_eq!(b.len(), n * k, "gemm_nt_packed: B must be {n}x{k}");
+    tally_gemm(&telemetry::metrics::GEMM_NT_PACKED, m, n, k);
     assert_eq!(pack.len(), k * n, "gemm_nt_packed: pack must be {k}x{n}");
     transpose(b, pack, n, k);
     gemm_nn(a, pack, c, m, n, k);
@@ -335,6 +347,7 @@ pub fn gemm_nn(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize
     assert_eq!(a.len(), m * k, "gemm_nn: A must be {m}x{k}");
     assert_eq!(b.len(), k * n, "gemm_nn: B must be {k}x{n}");
     assert_eq!(c.len(), m * n, "gemm_nn: C must be {m}x{n}");
+    tally_gemm(&telemetry::metrics::GEMM_NN, m, n, k);
     let k4 = k - (k % 4);
     let mut i = 0;
     // 4 output rows per pass share the four B rows in registers (a 4×4
@@ -440,6 +453,7 @@ pub fn gemm_tn(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize
     assert_eq!(a.len(), k * m, "gemm_tn: A must be {k}x{m}");
     assert_eq!(b.len(), k * n, "gemm_tn: B must be {k}x{n}");
     assert_eq!(c.len(), m * n, "gemm_tn: C must be {m}x{n}");
+    tally_gemm(&telemetry::metrics::GEMM_TN, m, n, k);
     c.fill(0.0);
     let k4 = k - (k % 4);
     let mut l = 0;
@@ -552,6 +566,7 @@ pub fn gemm_tn_acc(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: u
     assert_eq!(a.len(), k * m, "gemm_tn_acc: A must be {k}x{m}");
     assert_eq!(b.len(), k * n, "gemm_tn_acc: B must be {k}x{n}");
     assert_eq!(c.len(), m * n, "gemm_tn_acc: C must be {m}x{n}");
+    tally_gemm(&telemetry::metrics::GEMM_TN_ACC, m, n, k);
     let k4 = k - (k % 4);
     let mut l = 0;
     while l < k4 {

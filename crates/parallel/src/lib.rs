@@ -197,6 +197,12 @@ pub fn pool_workers() -> usize {
 /// If any chunk panics, the remaining chunks still execute and the first
 /// panic is re-thrown on the calling thread afterwards.
 pub fn fork_join_chunks<F: Fn(usize) + Sync>(chunks: usize, run: &F) {
+    // Sched plane: a sequential configuration short-circuits parallel maps
+    // in `collect_with` before they reach this call, so the fan-out count
+    // (like the chunk claims counted inside the pool) describes the
+    // schedule, not the program.
+    telemetry::metrics::POOL_FORK_JOINS.add(1);
+    telemetry::metrics::POOL_THREADS.set_max(max_threads() as u64);
     pool::fork_join(chunks, run)
 }
 
@@ -369,6 +375,7 @@ mod pool {
         // is still blocked in `fork_join` waiting for this completion and the
         // `FanOut` is alive (see `claim_front`).
         let fan = unsafe { &*p };
+        telemetry::metrics::POOL_CHUNKS_CLAIMED.add(1);
         let result = catch_unwind(AssertUnwindSafe(|| (fan.call)(fan.data, chunk)));
         let mut st = fan.state.lock().expect("fork/join latch poisoned");
         if let Err(payload) = result {
@@ -387,6 +394,7 @@ mod pool {
     pub(super) fn fork_join<F: Fn(usize) + Sync>(chunks: usize, run: &F) {
         let sequential = chunks <= 1;
         let Some(sh) = (if sequential { None } else { shared() }) else {
+            telemetry::metrics::POOL_CHUNKS_CLAIMED.add(chunks as u64);
             for c in 0..chunks {
                 run(c);
             }

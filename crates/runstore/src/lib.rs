@@ -36,6 +36,7 @@ use simcore::trace::{FaultEvent, FaultEventKind, TracePoint, TrainingTrace};
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Format tag at the head of every replicate file; bump on layout changes so
 /// old files read as misses instead of garbage.
@@ -288,9 +289,32 @@ impl RunStore {
         run_seed: u64,
         system_seed: u64,
     ) -> Option<TrainingTrace> {
+        match self.load_trace_checked(cell_index, cell_label, run_seed, system_seed) {
+            TraceLoad::Hit(trace) => Some(trace),
+            TraceLoad::Miss | TraceLoad::Corrupt => None,
+        }
+    }
+
+    /// Like [`load_trace`](Self::load_trace), but distinguishes the two
+    /// degradation causes so callers can report cache effectiveness: an
+    /// absent (or unreadable) file is a [`TraceLoad::Miss`], a file that is
+    /// present but fails to decode — a torn write survivor or manual edit —
+    /// is [`TraceLoad::Corrupt`]. Both degrade to recompute.
+    pub fn load_trace_checked(
+        &self,
+        cell_index: usize,
+        cell_label: &str,
+        run_seed: u64,
+        system_seed: u64,
+    ) -> TraceLoad {
         let key = replicate_key(cell_index, cell_label, run_seed, system_seed);
-        let text = fs::read_to_string(self.run_path(key)).ok()?;
-        decode_trace(&text)
+        let Ok(text) = fs::read_to_string(self.run_path(key)) else {
+            return TraceLoad::Miss;
+        };
+        match decode_trace(&text) {
+            Some(trace) => TraceLoad::Hit(trace),
+            None => TraceLoad::Corrupt,
+        }
     }
 
     /// Persist a completed replicate's trace: staged to `<key>.tmp`, fsynced,
@@ -353,12 +377,66 @@ impl RunStore {
 #[derive(Debug)]
 pub struct StoreCache<'a> {
     store: &'a RunStore,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+/// Outcome of one checked replicate load (see
+/// [`RunStore::load_trace_checked`]).
+#[derive(Debug)]
+pub enum TraceLoad {
+    /// A decodable cached trace.
+    Hit(TrainingTrace),
+    /// No file stored under this key (or it could not be read).
+    Miss,
+    /// A file exists but failed to decode; degraded to recompute.
+    Corrupt,
+}
+
+/// Cache-effectiveness counters for one grid run. Tracked with plain atomics
+/// on the [`StoreCache`] itself — independent of the telemetry enable flag —
+/// so the execution report can always surface them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Replicates satisfied from the store.
+    pub hits: u64,
+    /// Replicates with no stored file (computed fresh).
+    pub misses: u64,
+    /// Stored files that failed to decode and were recomputed.
+    pub corrupt_degraded: u64,
+}
+
+impl CacheStats {
+    /// One-line human summary for the `--resume` path (stderr).
+    pub fn summary(&self) -> String {
+        format!(
+            "runstore: {} hit(s), {} recomputed, {} corrupt file(s) degraded to recompute",
+            self.hits,
+            self.misses + self.corrupt_degraded,
+            self.corrupt_degraded
+        )
+    }
 }
 
 impl<'a> StoreCache<'a> {
     /// Wrap a store slice.
     pub fn new(store: &'a RunStore) -> Self {
-        Self { store }
+        Self {
+            store,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the hit/miss/corrupt counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt_degraded: self.corrupt.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -370,9 +448,26 @@ impl ReplicateCache for StoreCache<'_> {
         run_seed: u64,
         system_seed: u64,
     ) -> Option<RunSummary> {
-        self.store
-            .load_trace(cell_index, cell_label, run_seed, system_seed)
-            .map(RunSummary::from_trace)
+        match self
+            .store
+            .load_trace_checked(cell_index, cell_label, run_seed, system_seed)
+        {
+            TraceLoad::Hit(trace) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                telemetry::metrics::RUNSTORE_HITS.add(1);
+                Some(RunSummary::from_trace(trace))
+            }
+            TraceLoad::Miss => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                telemetry::metrics::RUNSTORE_MISSES.add(1);
+                None
+            }
+            TraceLoad::Corrupt => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                telemetry::metrics::RUNSTORE_CORRUPT.add(1);
+                None
+            }
+        }
     }
 
     fn store(

@@ -11,6 +11,11 @@
 //!   and persist fresh ones, so a killed grid picks up where it left off.
 //! * `--fresh` — discard this scenario's stored replicates first, then
 //!   persist as `--resume` does.
+//! * `--telemetry <dir>` — enable telemetry for the run and write
+//!   `spans.jsonl` / `metrics.json` / `profile.json` into `<dir>` afterwards
+//!   (stdout, CSVs and the run store stay byte-identical — CI diffs them).
+//! * `--progress` — force the stderr progress reporter on even when stderr
+//!   is not a TTY.
 //! * `--list-components` — print the registry catalogue and exit.
 //!
 //! Scale comes from `AIRFEDGA_SCALE` (`full` / `quick`), exactly as for the
@@ -24,7 +29,7 @@ use scenario::run_scenario_str;
 use scenario::Registry;
 
 const USAGE: &str = "usage: airfedga-run <scenario.toml> [--seeds N] [--system-seeds] \
-                     [--resume | --fresh]\n\
+                     [--resume | --fresh] [--telemetry DIR] [--progress]\n\
                      \u{20}      airfedga-run --list-components";
 
 /// Extract the scenario path, rejecting unknown flags and extra operands —
@@ -40,8 +45,16 @@ fn scenario_path(args: &[String]) -> Result<String, String> {
                     return Err("--seeds requires a value (e.g. --seeds 3)".to_string());
                 }
             }
-            "--system-seeds" | "--resume" | "--fresh" => {}
+            "--telemetry" => {
+                if it.next().is_none() {
+                    return Err(
+                        "--telemetry requires a directory (e.g. --telemetry out/)".to_string()
+                    );
+                }
+            }
+            "--system-seeds" | "--resume" | "--fresh" | "--progress" => {}
             _ if a.starts_with("--seeds=") => {}
+            _ if a.starts_with("--telemetry=") => {}
             _ if a.starts_with('-') => {
                 return Err(format!("unknown flag `{a}`"));
             }
@@ -90,6 +103,14 @@ fn main() {
             if !failures.is_empty() {
                 eprint!("{failures}");
             }
+            // The `--resume`/`--fresh` cache summary and the telemetry
+            // profile are stderr-only for the same reason.
+            if let Some(cache) = &report.cache {
+                eprintln!("{}", cache.summary());
+            }
+            if let Some(profile) = &report.profile {
+                eprint!("{profile}");
+            }
             if !report.is_clean() {
                 eprintln!("airfedga-run: {path}: grid finished with unrecovered failures");
                 std::process::exit(1);
@@ -132,6 +153,14 @@ mod tests {
             scenario_path(&args(&["--fresh", "s.toml"])).unwrap(),
             "s.toml"
         );
+        assert_eq!(
+            scenario_path(&args(&["s.toml", "--telemetry", "out/", "--progress"])).unwrap(),
+            "s.toml"
+        );
+        assert_eq!(
+            scenario_path(&args(&["--telemetry=out/tel", "s.toml"])).unwrap(),
+            "s.toml"
+        );
     }
 
     #[test]
@@ -145,6 +174,12 @@ mod tests {
         assert!(scenario_path(&args(&["--seeds"]))
             .unwrap_err()
             .contains("requires a value"));
+        assert!(scenario_path(&args(&["s.toml", "--telemetry"]))
+            .unwrap_err()
+            .contains("requires a directory"));
+        assert!(scenario_path(&args(&["s.toml", "--telemetries", "out/"]))
+            .unwrap_err()
+            .contains("unknown flag"));
         assert!(scenario_path(&args(&["a.toml", "b.toml"]))
             .unwrap_err()
             .contains("extra argument"));

@@ -18,6 +18,15 @@
 //! replicates of an interrupted grid are loaded instead of re-run), and
 //! `AIRFEDGA_SCALE` selects the scale exactly as it does for the figure
 //! binaries.
+//!
+//! Telemetry: `--telemetry <dir>` (or the spec's `[telemetry] dir` key)
+//! enables the `telemetry` crate for the run and flushes `spans.jsonl`,
+//! `metrics.json` and `profile.json` into `<dir>` afterwards; `--progress`
+//! (or `[telemetry] progress`) forces the stderr progress reporter on even
+//! without a TTY. Neither changes a byte of stdout, CSVs or the run store —
+//! the sidecar files and stderr are the only outputs, and the `[telemetry]`
+//! table is excluded from the canonical spec form so toggling it never
+//! re-keys the store.
 
 use crate::spec::{expand_grid, GridCell, ScenarioKind, ScenarioSpec};
 use crate::ScenarioError;
@@ -31,8 +40,8 @@ use experiments::sweeps::{
     build_sweep_mechanism, fmt_xi, run_scalability, run_xi_sweep, ScalabilityFigure, XiSweepFigure,
 };
 use fedml::rng::Rng64;
-use runstore::{RunStore, StoreCache};
-use std::path::Path;
+use runstore::{CacheStats, RunStore, StoreCache};
+use std::path::{Path, PathBuf};
 
 /// Root directory of the on-disk run store, relative to the working
 /// directory. Deliberately *outside* `results/` so the CI determinism jobs'
@@ -55,7 +64,7 @@ pub enum StoreMode {
 }
 
 /// The command-line overrides a driver binary may apply on top of a spec.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CliOverrides {
     /// `--seeds N`, overriding the spec's `run.seeds`.
     pub seeds: Option<usize>,
@@ -63,14 +72,22 @@ pub struct CliOverrides {
     pub system_seeds: bool,
     /// `--resume` / `--fresh`, selecting the run-store mode.
     pub store: StoreMode,
+    /// `--telemetry <dir>`, overriding the spec's `[telemetry] dir` key:
+    /// enable telemetry and flush the sidecar files there after the run.
+    pub telemetry: Option<String>,
+    /// `--progress`, forcing the stderr progress reporter on even when
+    /// stderr is not a TTY (equivalent to `[telemetry] progress = "force"`).
+    pub progress_force: bool,
 }
 
 impl CliOverrides {
     /// Parse the overrides from the process arguments. `Err` is a usage
-    /// problem (conflicting flags) the binary should report and exit on.
+    /// problem (conflicting flags, a flag missing its value) the binary
+    /// should report and exit on.
     pub fn from_args() -> Result<Self, String> {
-        let resume = std::env::args().any(|a| a == "--resume");
-        let fresh = std::env::args().any(|a| a == "--fresh");
+        let args: Vec<String> = std::env::args().collect();
+        let resume = args.iter().any(|a| a == "--resume");
+        let fresh = args.iter().any(|a| a == "--fresh");
         let store = match (resume, fresh) {
             (true, true) => {
                 return Err("--resume and --fresh are mutually exclusive".to_string());
@@ -79,23 +96,47 @@ impl CliOverrides {
             (false, true) => StoreMode::Fresh,
             (false, false) => StoreMode::Disabled,
         };
+        let mut telemetry = None;
+        for (i, a) in args.iter().enumerate() {
+            if a == "--telemetry" {
+                match args.get(i + 1) {
+                    Some(dir) if !dir.starts_with('-') => telemetry = Some(dir.clone()),
+                    _ => return Err("--telemetry requires a directory argument".to_string()),
+                }
+            } else if let Some(dir) = a.strip_prefix("--telemetry=") {
+                if dir.is_empty() {
+                    return Err("--telemetry requires a directory argument".to_string());
+                }
+                telemetry = Some(dir.to_string());
+            }
+        }
         Ok(Self {
             seeds: seeds_flag_opt(),
             system_seeds: system_seeds_flag(),
             store,
+            telemetry,
+            progress_force: args.iter().any(|a| a == "--progress"),
         })
     }
 }
 
 /// What a scenario execution produced beyond its stdout/CSV output: the
 /// replicate failures, for the binary to report on stderr and turn into its
-/// exit code.
+/// exit code, plus run-store cache statistics and the telemetry profile when
+/// either was active.
 #[derive(Debug, Default)]
 pub struct ExecutionReport {
     /// Replicate failures across the run, recovered ones included. Always
     /// empty for the inline kinds (`xi_sweep`, `scalability`), which abort
     /// on panic instead of isolating it.
     pub failures: Vec<CellFailure>,
+    /// Run-store cache statistics (hits / recomputes / corrupt degrades)
+    /// when the run used `--resume` / `--fresh`; `None` with the store
+    /// disabled. Collected even with telemetry off.
+    pub cache: Option<CacheStats>,
+    /// The rendered telemetry profile table when the run had a telemetry
+    /// directory; the binary appends it to the stderr report path.
+    pub profile: Option<String>,
 }
 
 impl ExecutionReport {
@@ -142,6 +183,12 @@ fn figure_params(spec: &ScenarioSpec, scale: Scale, cli: &CliOverrides) -> Figur
 /// difference — an edited key, a different `--seeds`, another scale —
 /// hashes to a different slot, so stale replicates can never be loaded.
 fn canonical_spec_form(spec: &ScenarioSpec, scale: Scale, params: &FigureParams) -> String {
+    // The `[telemetry]` table never changes results, so it must not re-key
+    // the store: a `--resume` run with `--telemetry out/` has to find the
+    // replicates a plain `--resume` run persisted. Blank the field before
+    // formatting so both hash to the same slot.
+    let mut spec = spec.clone();
+    spec.telemetry = Default::default();
     format!(
         "airfedga-scenario-v1\n{spec:?}\nscale={scale:?}\nnum_seeds={}\nvary_system={}\n",
         params.num_seeds, params.vary_system
@@ -211,7 +258,31 @@ pub fn execute(
         Some(c) => c,
         None => &NoCache,
     };
-    match spec.kind {
+
+    // Telemetry: the CLI flag wins over the spec's `[telemetry]` table.
+    // Everything below only touches stderr and the sidecar directory, so
+    // stdout/CSV/runstore bytes are identical whether or not a dir is set.
+    let telemetry_dir: Option<PathBuf> = cli
+        .telemetry
+        .clone()
+        .or_else(|| spec.telemetry.dir.clone())
+        .map(PathBuf::from);
+    let progress_mode = if cli.progress_force {
+        telemetry::progress::ProgressMode::Force
+    } else {
+        match spec.telemetry.progress.as_deref() {
+            Some("force") => telemetry::progress::ProgressMode::Force,
+            Some("off") => telemetry::progress::ProgressMode::Off,
+            _ => telemetry::progress::ProgressMode::Auto,
+        }
+    };
+    telemetry::progress::set_mode(progress_mode);
+    if telemetry_dir.is_some() {
+        telemetry::enable();
+    }
+
+    let grid_span = telemetry::span!("grid");
+    let mut report = match spec.kind {
         ScenarioKind::TimeAccuracy => {
             let run = run_time_accuracy_figure_durable(
                 &spec.title,
@@ -226,9 +297,10 @@ pub fn execute(
             if let Some(target) = spec.speedup_target {
                 print_speedups(&run.survivors(), target);
             }
-            Ok(ExecutionReport {
+            ExecutionReport {
                 failures: run.failures,
-            })
+                ..ExecutionReport::default()
+            }
         }
         ScenarioKind::XiSweep => {
             run_xi_sweep(
@@ -242,7 +314,7 @@ pub fn execute(
                 },
                 &params,
             );
-            Ok(ExecutionReport::default())
+            ExecutionReport::default()
         }
         ScenarioKind::Scalability => {
             run_scalability(
@@ -257,12 +329,31 @@ pub fn execute(
                 },
                 &params,
             );
-            Ok(ExecutionReport::default())
+            ExecutionReport::default()
         }
-        ScenarioKind::Grid => Ok(ExecutionReport {
+        ScenarioKind::Grid => ExecutionReport {
             failures: run_grid_scenario(spec, &params, &policy, cache),
-        }),
+            ..ExecutionReport::default()
+        },
+    };
+    drop(grid_span);
+
+    // Cache statistics are collected even with telemetry off (the atomics
+    // live on the `StoreCache` itself), so `--resume` can always summarise.
+    report.cache = store_cache.as_ref().map(StoreCache::stats);
+
+    if let Some(dir) = &telemetry_dir {
+        let profile = telemetry::flush_to_dir(dir).map_err(|e| {
+            ScenarioError::new(format!(
+                "[{}] cannot write telemetry artifacts to `{}`: {e}",
+                spec.name,
+                dir.display()
+            ))
+        })?;
+        report.profile = Some(profile);
+        telemetry::disable();
     }
+    Ok(report)
 }
 
 /// Parse and execute a scenario document with the binary defaults: scale
@@ -562,7 +653,7 @@ xi = [0.3, 1.0]
             &CliOverrides {
                 seeds: Some(2),
                 system_seeds: true,
-                store: StoreMode::Disabled,
+                ..CliOverrides::default()
             },
         )
         .unwrap();
@@ -703,7 +794,12 @@ xi = [0.3, 1.0]
             store: StoreMode::Fresh,
             ..CliOverrides::default()
         };
-        assert!(execute(&spec, Scale::Quick, &fresh).unwrap().is_clean());
+        let populate = execute(&spec, Scale::Quick, &fresh).unwrap();
+        assert!(populate.is_clean());
+        // A fresh store has nothing to hit: every replicate recomputes.
+        let stats = populate.cache.expect("store was active");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 4);
         let csv = Path::new("results/test_scenario_resume_grid.csv");
         let first = std::fs::read(csv).unwrap();
         std::fs::remove_file(csv).unwrap();
@@ -720,10 +816,193 @@ xi = [0.3, 1.0]
             store: StoreMode::Resume,
             ..CliOverrides::default()
         };
-        assert!(execute(&spec, Scale::Quick, &resume).unwrap().is_clean());
+        let replay = execute(&spec, Scale::Quick, &resume).unwrap();
+        assert!(replay.is_clean());
         assert_eq!(std::fs::read(csv).unwrap(), first);
         // Every replicate was a cache hit — nothing was re-stored.
         assert_eq!(store.journal_len(), 4);
+        // And the report carries the cache statistics (telemetry off).
+        let stats = replay.cache.expect("store was active");
+        assert_eq!(
+            stats,
+            CacheStats {
+                hits: 4,
+                misses: 0,
+                corrupt_degraded: 0
+            }
+        );
+        assert!(stats.summary().contains("4 hit(s)"));
+    }
+
+    /// A `[telemetry]` table must not re-key the run store: a resumed run
+    /// with `--telemetry out/` has to find the replicates a plain run
+    /// persisted, so the canonical spec form excludes the table entirely.
+    #[test]
+    fn telemetry_table_does_not_rekey_the_store() {
+        let base = r#"
+[scenario]
+name = "test_scenario_rekey"
+kind = "grid"
+title = "test telemetry rekey"
+
+[system]
+workload = "mnist_lr_quick"
+
+[run]
+mechanisms = ["air-fedga"]
+accuracy_targets = [0.5]
+rounds = 4
+eval_every = 2
+
+[sweep]
+xi = [1.0]
+"#;
+        let with_telemetry =
+            format!("{base}\n[telemetry]\ndir = \"out/tel\"\nprogress = \"force\"\n");
+        let plain = ScenarioSpec::parse(base).unwrap();
+        let telem = ScenarioSpec::parse(&with_telemetry).unwrap();
+        assert_ne!(plain.telemetry, telem.telemetry);
+        let cli = CliOverrides::default();
+        let params = figure_params(&plain, Scale::Quick, &cli);
+        assert_eq!(
+            canonical_spec_form(&plain, Scale::Quick, &params),
+            canonical_spec_form(&telem, Scale::Quick, &params)
+        );
+    }
+
+    /// The hard telemetry invariant, in-process: running the same grid with
+    /// telemetry off and then on produces byte-identical CSV output, while
+    /// the on-run additionally writes the three sidecar artifacts and hands
+    /// the rendered profile back in the report.
+    #[test]
+    fn telemetry_on_and_off_produce_identical_csv_bytes() {
+        let src = r#"
+[scenario]
+name = "test_scenario_telemetry"
+kind = "grid"
+title = "test telemetry byte identity"
+
+[system]
+workload = "mnist_lr_quick"
+
+[run]
+mechanisms = ["air-fedavg", "air-fedga"]
+accuracy_targets = [0.5]
+rounds = 4
+eval_every = 2
+seeds = 2
+
+[sweep]
+xi = [0.3, 1.0]
+"#;
+        let spec = ScenarioSpec::parse(src).unwrap();
+        let csv = Path::new("results/test_scenario_telemetry_grid.csv");
+
+        let off = execute(&spec, Scale::Quick, &CliOverrides::default()).unwrap();
+        assert!(off.is_clean());
+        assert!(off.profile.is_none());
+        let off_bytes = std::fs::read(csv).unwrap();
+        std::fs::remove_file(csv).unwrap();
+
+        let dir = std::env::temp_dir().join("scenario_telemetry_on_off_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cli = CliOverrides {
+            telemetry: Some(dir.display().to_string()),
+            ..CliOverrides::default()
+        };
+        let on = execute(&spec, Scale::Quick, &cli).unwrap();
+        assert!(on.is_clean());
+        let on_bytes = std::fs::read(csv).unwrap();
+        assert_eq!(off_bytes, on_bytes, "telemetry changed CSV bytes");
+
+        for artifact in ["spans.jsonl", "metrics.json", "profile.json"] {
+            assert!(dir.join(artifact).exists(), "missing {artifact}");
+        }
+        let spans = std::fs::read_to_string(dir.join("spans.jsonl")).unwrap();
+        assert!(spans.contains("\"span\": \"grid\""));
+        assert!(spans.contains("\"span\": \"replicate\""));
+        assert!(spans.contains("\"span\": \"round\""));
+        let profile = on.profile.expect("telemetry run renders a profile");
+        assert!(profile.contains("run profile"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Child half of the matrix test below: inert in a normal test run,
+    /// but when spawned with `TELEMETRY_MATRIX_CHILD=<dir>` (and pinned
+    /// `PARALLEL_THREADS`/`PARALLEL_CHUNKS`, which are read once per
+    /// process — hence the subprocess) it runs a small grid with telemetry
+    /// on and leaves `metrics.json` in `<dir>`.
+    #[test]
+    fn matrix_child_writes_logical_fingerprint() {
+        let Ok(dir) = std::env::var("TELEMETRY_MATRIX_CHILD") else {
+            return;
+        };
+        let src = r#"
+[scenario]
+name = "test_scenario_matrix"
+kind = "grid"
+title = "test telemetry matrix"
+
+[system]
+workload = "mnist_lr_quick"
+
+[run]
+mechanisms = ["air-fedavg", "air-fedga"]
+accuracy_targets = [0.5]
+rounds = 4
+eval_every = 2
+seeds = 2
+
+[sweep]
+xi = [0.3, 1.0]
+"#;
+        let spec = ScenarioSpec::parse(src).unwrap();
+        let cli = CliOverrides {
+            telemetry: Some(dir),
+            ..CliOverrides::default()
+        };
+        assert!(execute(&spec, Scale::Quick, &cli).unwrap().is_clean());
+    }
+
+    /// The logical-plane determinism invariant: `metrics.json` (logical
+    /// counters only) is byte-identical between a sequential 1×1 schedule
+    /// and a 4-thread × 16-chunk schedule of the same grid. Spawns the test
+    /// binary twice because the parallel pool reads its env pins once per
+    /// process.
+    #[test]
+    fn logical_metrics_identical_across_thread_chunk_matrix() {
+        let exe = std::env::current_exe().unwrap();
+        let root = std::env::temp_dir().join("scenario_telemetry_matrix_test");
+        let _ = std::fs::remove_dir_all(&root);
+        let spawn = |threads: &str, chunks: &str, sub: &str| {
+            let dir = root.join(sub);
+            let out = std::process::Command::new(&exe)
+                .args([
+                    "run::tests::matrix_child_writes_logical_fingerprint",
+                    "--exact",
+                ])
+                .env("TELEMETRY_MATRIX_CHILD", &dir)
+                .env("PARALLEL_THREADS", threads)
+                .env("PARALLEL_CHUNKS", chunks)
+                .output()
+                .expect("spawn matrix child");
+            assert!(
+                out.status.success(),
+                "matrix child {threads}x{chunks} failed:\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            std::fs::read(dir.join("metrics.json")).expect("child wrote metrics.json")
+        };
+        let seq = spawn("1", "1", "seq");
+        let par = spawn("4", "16", "par");
+        assert!(!seq.is_empty());
+        assert_eq!(
+            seq,
+            par,
+            "logical metrics differ across schedules:\n{}",
+            String::from_utf8_lossy(&seq)
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     /// `--resume`/`--fresh` are rejected for the inline sweep kinds, which

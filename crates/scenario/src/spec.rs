@@ -112,6 +112,10 @@ pub struct ScenarioSpec {
     /// Per-cell execution limits (`[limits]`; `time_accuracy` and `grid`
     /// kinds only). `None` — no table — keeps the historical behaviour.
     pub limits: Option<RunLimits>,
+    /// Observability settings (`[telemetry]`). A pure side-channel: the
+    /// default-reset copy is what the canonical spec form hashes, so these
+    /// settings never re-key the runstore or change results.
+    pub telemetry: TelemetrySettings,
 }
 
 /// The `[limits]` table: per-cell retry/timeout policy for the isolated
@@ -128,6 +132,20 @@ pub struct RunLimits {
     /// Base backoff in seconds between retries — retry `k` sleeps
     /// `k * retry_backoff` first (`limits.retry_backoff`).
     pub retry_backoff: Option<f64>,
+}
+
+/// The `[telemetry]` table: where (and whether) to write observability
+/// artifacts. Purely additive — stdout, CSVs and runstore bytes are
+/// identical with or without it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySettings {
+    /// Sink directory for `spans.jsonl` / `metrics.json` / `profile.json`
+    /// (`telemetry.dir`; the `--telemetry <dir>` CLI flag overrides it).
+    pub dir: Option<String>,
+    /// Progress-reporter policy (`telemetry.progress`: `"auto"` renders on a
+    /// TTY only, `"force"` always, `"off"` never; the `--progress` CLI flag
+    /// forces it on).
+    pub progress: Option<String>,
 }
 
 /// One expanded cell of a `grid` scenario. Axis fields are `None` when the
@@ -655,6 +673,34 @@ impl ScenarioSpec {
                 })
             }
         };
+
+        // [telemetry] — observability sinks. Never affects results, CSV
+        // bytes or runstore keys (see `canonical_spec_form`).
+        let telemetry = match root.table_opt("telemetry")? {
+            None => TelemetrySettings::default(),
+            Some(tel_tbl) => {
+                let tel = SpecReader::new(tel_tbl, "telemetry");
+                let dir = tel.str_opt("dir")?.map(|(s, _)| s);
+                let progress = match tel.str_opt("progress")? {
+                    None => None,
+                    Some((s, line)) => {
+                        if matches!(s.as_str(), "auto" | "force" | "off") {
+                            Some(s)
+                        } else {
+                            return Err(ScenarioError::at(
+                                line,
+                                format!(
+                                    "telemetry.progress must be \"auto\", \"force\" or \
+                                     \"off\", got \"{s}\""
+                                ),
+                            ));
+                        }
+                    }
+                };
+                tel.finish()?;
+                TelemetrySettings { dir, progress }
+            }
+        };
         root.finish()?;
 
         let spec = Self {
@@ -678,6 +724,7 @@ impl ScenarioSpec {
             sweep_num_workers,
             per_worker_samples,
             limits,
+            telemetry,
         };
         spec.validate()?;
         Ok(spec)

@@ -82,6 +82,9 @@ pub fn is_installed() -> bool {
 /// Called by the group-async engine and the Dynamic baseline at the top of
 /// every round; a no-op when no token is installed or it is still live.
 pub fn checkpoint(round: usize) {
+    // Every engine polls here once per attempted round, which makes this the
+    // single place to count rounds for telemetry's logical plane.
+    telemetry::metrics::ENGINE_ROUNDS.add(1);
     let cancelled = ACTIVE.with(|a| {
         a.borrow()
             .as_ref()

@@ -75,6 +75,9 @@ impl FaultLog {
     /// Record one attempted round: how many of the group's `members`
     /// actually made it into the aggregation.
     pub fn record_round(&mut self, participants: usize, members: usize) {
+        telemetry::metrics::ENGINE_PARTICIPANTS.add(participants as u64);
+        telemetry::metrics::ENGINE_PARTICIPANTS_FILTERED
+            .add(members.saturating_sub(participants) as u64);
         self.rounds_attempted += 1;
         if participants > 0 {
             self.rounds_aggregated += 1;
@@ -85,6 +88,9 @@ impl FaultLog {
 
     /// Record a degradation event.
     pub fn record_event(&mut self, event: FaultEvent) {
+        match event.kind {
+            FaultEventKind::GroupSkipped => telemetry::metrics::ENGINE_GROUP_SKIPS.add(1),
+        }
         self.events.push(event);
     }
 

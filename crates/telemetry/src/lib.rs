@@ -1,0 +1,143 @@
+//! # telemetry — deterministic-aware observability
+//!
+//! A dependency-free instrumentation layer for the Air-FedGA workspace. It is
+//! the *only* crate outside the timing modules allowed to read wall clocks
+//! (detlint's DET-CLOCK scope names it explicitly), and it is built around one
+//! hard invariant: **turning telemetry on or off must not change a single
+//! byte of stdout, CSVs, or runstore contents** — everything this crate emits
+//! goes to stderr or to the `--telemetry <dir>` sidecar files.
+//!
+//! Three planes of data, with different determinism guarantees:
+//!
+//! * **Logical plane** ([`metrics`], [`Plane::Logical`]) — pure counts of
+//!   semantic events (rounds run, participants filtered, GEMM calls, runstore
+//!   hits). These are bit-identical across any `PARALLEL_THREADS ×
+//!   PARALLEL_CHUNKS` schedule, because each counter increments exactly once
+//!   per semantic event and addition commutes. Exported as `metrics.json`.
+//! * **Scheduling plane** ([`Plane::Sched`]) — counts that *describe* the
+//!   schedule (chunks claimed, pool width). Deterministic per configuration
+//!   but not across thread/chunk matrices; excluded from `metrics.json`.
+//! * **Timing plane** ([`Plane::Timing`], [`spans`]) — wall-clock spans and
+//!   duration histograms. Never deterministic; only ever written to the
+//!   sidecar files (`spans.jsonl`, `profile.json`).
+//!
+//! The whole layer is gated on a single relaxed [`enabled`] flag: when off,
+//! every instrumentation point is one atomic load and a branch, so the
+//! telemetry-off overhead on hot paths (GEMM, pool claims) is noise.
+//!
+//! Lifecycle: the driver calls [`enable`] before a run and
+//! [`flush_to_dir`] after it, which writes `spans.jsonl` (span events merged
+//! in deterministic `(cell, seed, attempt, seq)` order), `metrics.json`
+//! (logical plane only), and `profile.json`, and returns the rendered
+//! profile text for the report path.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod profile;
+pub mod progress;
+pub mod spans;
+
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub use metrics::Plane;
+
+/// Global recording flag. Off by default; hot-path instrumentation reads it
+/// with one relaxed load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Serialises tests that toggle the process-global [`ENABLED`] flag.
+#[cfg(test)]
+pub(crate) static TEST_FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Lock [`TEST_FLAG_LOCK`], surviving poisoning from a failed test.
+#[cfg(test)]
+pub(crate) fn test_flag_guard() -> std::sync::MutexGuard<'static, ()> {
+    TEST_FLAG_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// True when telemetry recording is on.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn telemetry recording on. Counters, histograms and spans start
+/// accumulating from their current state; call [`metrics::reset`] first for a
+/// clean slate when re-enabling inside one process (tests).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn telemetry recording off again (used by in-process tests; production
+/// runs enable once and flush at exit).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Flush all recorded telemetry into `dir`, creating it if needed:
+///
+/// * `spans.jsonl` — one JSON object per span event, sorted by
+///   `(cell, seed, attempt, seq)` so reruns diff cleanly line-for-line
+///   (durations still vary — they are wall-clock).
+/// * `metrics.json` — the logical plane only: bit-identical across
+///   thread/chunk schedules for a deterministic run.
+/// * `profile.json` — machine-readable run profile (span aggregates, all
+///   counters including sched/timing planes, histogram percentiles).
+///
+/// Returns the rendered human-readable profile table for the report path.
+pub fn flush_to_dir(dir: &Path) -> std::io::Result<String> {
+    let events = spans::take_sorted();
+    std::fs::create_dir_all(dir)?;
+    write_atomic(&dir.join("spans.jsonl"), &spans::to_jsonl(&events))?;
+    write_atomic(&dir.join("metrics.json"), &metrics::logical_json())?;
+    write_atomic(&dir.join("profile.json"), &profile::to_json(&events))?;
+    Ok(profile::render(&events))
+}
+
+/// Write `text` to `path` via tmp + rename so a crash mid-flush never leaves
+/// a truncated artifact.
+fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_toggles() {
+        let _guard = test_flag_guard();
+        let was = enabled();
+        enable();
+        assert!(enabled());
+        disable();
+        assert!(!enabled());
+        if was {
+            enable();
+        }
+    }
+
+    #[test]
+    fn flush_writes_all_three_artifacts() {
+        let dir = std::env::temp_dir().join("telemetry_flush_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let text = flush_to_dir(&dir).expect("flush");
+        assert!(dir.join("spans.jsonl").exists());
+        assert!(dir.join("metrics.json").exists());
+        assert!(dir.join("profile.json").exists());
+        assert!(text.contains("run profile"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

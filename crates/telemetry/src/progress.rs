@@ -1,0 +1,237 @@
+//! Live stderr progress for long grid runs.
+//!
+//! A [`Reporter`] tracks cells done / cached / failed / retried and renders a
+//! throttled single-line status to **stderr only** — stdout stays
+//! byte-identical with or without it. Rendering policy ([`ProgressMode`]):
+//!
+//! * `Auto` (default) — render only when stderr is a TTY, so CI logs and
+//!   redirected runs stay clean.
+//! * `Force` — render even when stderr is not a TTY (plain newline-terminated
+//!   lines instead of carriage-return rewrites).
+//! * `Off` — never render.
+//!
+//! The reporter works independently of the `--telemetry` sink: interactive
+//! runs get progress without writing any sidecar files, and its counts come
+//! from explicit harness callbacks, not the metrics registry, so it needs no
+//! global enable.
+
+use std::io::IsTerminal;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// When the reporter is allowed to write to stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressMode {
+    /// Render only when stderr is a TTY (the default).
+    Auto,
+    /// Render even without a TTY.
+    Force,
+    /// Never render.
+    Off,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-wide progress mode (driver flag / scenario `[telemetry]`).
+pub fn set_mode(mode: ProgressMode) {
+    let v = match mode {
+        ProgressMode::Auto => 0,
+        ProgressMode::Force => 1,
+        ProgressMode::Off => 2,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// Current process-wide progress mode.
+pub fn mode() -> ProgressMode {
+    match MODE.load(Ordering::Relaxed) {
+        1 => ProgressMode::Force,
+        2 => ProgressMode::Off,
+        _ => ProgressMode::Auto,
+    }
+}
+
+/// Minimum interval between renders (the final render always happens).
+const THROTTLE: Duration = Duration::from_millis(200);
+
+struct RenderState {
+    last: Option<Instant>,
+    rendered: bool,
+}
+
+/// Progress tracker for one grid run; all update methods are safe to call
+/// from pool worker threads.
+pub struct Reporter {
+    active: bool,
+    tty: bool,
+    label: &'static str,
+    total: usize,
+    start: Instant,
+    done: AtomicUsize,
+    cached: AtomicUsize,
+    failed: AtomicUsize,
+    retried: AtomicUsize,
+    state: Mutex<RenderState>,
+}
+
+impl Reporter {
+    /// Create a reporter for `total` cells. Inactive reporters (mode `Off`,
+    /// or `Auto` without a TTY) cost one atomic load per update.
+    pub fn new(label: &'static str, total: usize) -> Self {
+        let tty = std::io::stderr().is_terminal();
+        let active = match mode() {
+            ProgressMode::Auto => tty,
+            ProgressMode::Force => true,
+            ProgressMode::Off => false,
+        };
+        Reporter {
+            active,
+            tty,
+            label,
+            total,
+            start: Instant::now(),
+            done: AtomicUsize::new(0),
+            cached: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            retried: AtomicUsize::new(0),
+            state: Mutex::new(RenderState {
+                last: None,
+                rendered: false,
+            }),
+        }
+    }
+
+    /// A cell was satisfied from the runstore cache.
+    pub fn cached(&self) {
+        self.cached.fetch_add(1, Ordering::Relaxed);
+        self.maybe_render(false);
+    }
+
+    /// A cell finished computing; `ok` is false when it failed for good.
+    pub fn done(&self, ok: bool) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.maybe_render(false);
+    }
+
+    /// A failed cell is being retried.
+    pub fn retried(&self) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
+        self.maybe_render(false);
+    }
+
+    /// Render the final state; on a TTY this terminates the rewrite line.
+    pub fn finish(&self) {
+        if !self.active {
+            return;
+        }
+        self.maybe_render(true);
+        if self.tty && self.state.lock().is_ok_and(|s| s.rendered) {
+            eprintln!();
+        }
+    }
+
+    fn maybe_render(&self, force: bool) {
+        if !self.active {
+            return;
+        }
+        let Ok(mut state) = self.state.lock() else {
+            return;
+        };
+        let now = Instant::now();
+        if !force {
+            if let Some(last) = state.last {
+                if now.duration_since(last) < THROTTLE {
+                    return;
+                }
+            }
+        }
+        state.last = Some(now);
+        state.rendered = true;
+        let line = self.line(now);
+        if self.tty {
+            eprint!("\r\x1b[2K{line}");
+        } else {
+            eprintln!("{line}");
+        }
+    }
+
+    fn line(&self, now: Instant) -> String {
+        let done = self.done.load(Ordering::Relaxed);
+        let cached = self.cached.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        let retried = self.retried.load(Ordering::Relaxed);
+        let elapsed = now.duration_since(self.start).as_secs_f64();
+        let remaining = self.total.saturating_sub(done + cached);
+        // ETA from the mean wall time of cells computed so far.
+        let eta = if done > 0 && remaining > 0 {
+            format!("{:.0}s", elapsed / done as f64 * remaining as f64)
+        } else if remaining == 0 {
+            "0s".to_string()
+        } else {
+            "--".to_string()
+        };
+        format!(
+            "{}: {}/{} done, {} cached, {} failed, {} retried, {:.1}s elapsed, eta {}",
+            self.label, done, self.total, cached, failed, retried, elapsed, eta
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_mode_reporter_is_inert() {
+        // Tests never run with a TTY stderr, so Auto is inert here too; force
+        // Off to make the intent explicit and mode-independent.
+        let _guard = crate::test_flag_guard();
+        let prev = mode();
+        set_mode(ProgressMode::Off);
+        let r = Reporter::new("cells", 10);
+        assert!(!r.active);
+        r.cached();
+        r.done(true);
+        r.done(false);
+        r.retried();
+        r.finish();
+        set_mode(prev);
+    }
+
+    #[test]
+    fn line_contents_track_counts() {
+        let r = Reporter {
+            active: true,
+            tty: false,
+            label: "cells",
+            total: 8,
+            start: Instant::now(),
+            done: AtomicUsize::new(3),
+            cached: AtomicUsize::new(2),
+            failed: AtomicUsize::new(1),
+            retried: AtomicUsize::new(1),
+            state: Mutex::new(RenderState {
+                last: None,
+                rendered: false,
+            }),
+        };
+        let line = r.line(Instant::now());
+        assert!(line.starts_with("cells: 3/8 done, 2 cached, 1 failed, 1 retried"));
+        assert!(line.contains("eta"));
+    }
+
+    #[test]
+    fn mode_roundtrip() {
+        let _guard = crate::test_flag_guard();
+        let prev = mode();
+        for m in [ProgressMode::Auto, ProgressMode::Force, ProgressMode::Off] {
+            set_mode(m);
+            assert_eq!(mode(), m);
+        }
+        set_mode(prev);
+    }
+}
