@@ -37,7 +37,7 @@ pub const RULES: &[(&str, &str)] = &[
     (
         DET_CLOCK,
         "Instant::now/SystemTime only in timing modules (experiments::watchdog, \
-         bench, runstore, telemetry); simulation time is virtual",
+         bench, jobserver, runstore, telemetry); simulation time is virtual",
     ),
     (
         DET_RNG,
@@ -93,13 +93,16 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 
 /// Path prefixes (workspace-relative, `/`-separated) where DET-CLOCK does
 /// not apply: the watchdog monitor measures real elapsed time by design,
-/// the bench/runstore layers live outside simulated time, and the telemetry
+/// the bench/runstore layers live outside simulated time, the telemetry
 /// crate's timing plane (spans, progress ETA) is wall-clock by definition —
 /// its logical plane never touches a clock, and none of its output feeds
-/// the bit-identity diffs.
+/// the bit-identity diffs — and the job server daemon's poll loops, socket
+/// timeouts and watch deadlines are wall-clock plumbing around the
+/// deterministic driver, never inputs to it.
 pub const CLOCK_ALLOW: &[&str] = &[
     "crates/bench/",
     "crates/experiments/src/watchdog.rs",
+    "crates/jobserver/",
     "crates/runstore/",
     "crates/telemetry/",
 ];

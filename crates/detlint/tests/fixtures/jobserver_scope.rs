@@ -1,0 +1,18 @@
+// lint-as: crates/jobserver/src/server.rs
+// The job server's daemon plumbing is allowlisted for DET-CLOCK (poll
+// loops, socket timeouts and watch deadlines are wall-clock by design) and
+// sits outside the deterministic-crate set (DET-HASH does not apply), but
+// the universal rules still fire: the partial_cmp sort below is a finding.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant, SystemTime};
+
+fn poll_deadline(timeout: Duration) -> bool {
+    let started = Instant::now();
+    let _wall = SystemTime::now();
+    let mut by_priority: HashMap<u64, f64> = HashMap::new();
+    by_priority.insert(1, 0.5);
+    let mut keys: Vec<f64> = by_priority.values().copied().collect();
+    keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    started.elapsed() < timeout
+}

@@ -11,6 +11,7 @@ use crate::stats::PointStats;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::RwLock;
 
 /// A simple fixed-column text table.
 #[derive(Debug, Clone, Default)]
@@ -89,9 +90,28 @@ impl Table {
     }
 }
 
+/// Process-wide override for [`results_dir`]. `None` (the default) keeps the
+/// historical CWD-relative `results/` directory, so batch binaries are
+/// byte-identical with or without this hook; the job server points it at a
+/// per-job results store before driving a grid.
+static RESULTS_DIR_OVERRIDE: RwLock<Option<PathBuf>> = RwLock::new(None);
+
+/// Redirect [`results_dir`] (and therefore every CSV writer) to `dir`, or
+/// restore the default with `None`. Affects the whole process; callers that
+/// drive grids one at a time (the job executor) set it around each run.
+pub fn set_results_dir(dir: Option<PathBuf>) {
+    *RESULTS_DIR_OVERRIDE
+        .write()
+        .unwrap_or_else(|e| e.into_inner()) = dir;
+}
+
 /// Directory where experiment binaries drop their CSV outputs.
 pub fn results_dir() -> PathBuf {
-    PathBuf::from("results")
+    RESULTS_DIR_OVERRIDE
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results"))
 }
 
 /// Write `contents` to `results/<name>`, creating the directory if needed.
@@ -239,6 +259,11 @@ pub fn is_in_results_dir(path: &Path) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Tests that read or mutate the process-global results-dir take this
+    /// lock so the override test cannot race the atomic-write test.
+    static DIR_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn table_renders_aligned_columns() {
@@ -328,7 +353,23 @@ mod tests {
     }
 
     #[test]
+    fn results_dir_override_redirects_and_restores() {
+        let _lock = DIR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(results_dir(), PathBuf::from("results"));
+        set_results_dir(Some(PathBuf::from("override_results_test")));
+        assert_eq!(results_dir(), PathBuf::from("override_results_test"));
+        assert!(is_in_results_dir(Path::new("override_results_test/x.csv")));
+        let path = write_csv("override_probe.csv", "a,b\n").unwrap();
+        assert!(path.starts_with("override_results_test"));
+        assert_eq!(fs::read_to_string(&path).unwrap(), "a,b\n");
+        set_results_dir(None);
+        assert_eq!(results_dir(), PathBuf::from("results"));
+        fs::remove_dir_all("override_results_test").ok();
+    }
+
+    #[test]
     fn write_csv_is_atomic_via_tmp_rename() {
+        let _lock = DIR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let name = "atomic_write_test.csv";
         let final_path = results_dir().join(name);
         let tmp_path = results_dir().join(format!("{name}.tmp"));
@@ -349,6 +390,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
+        let _lock = DIR_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         assert_eq!(fmt_secs(1234.56), "1235");
         assert_eq!(fmt_secs(12.34), "12.3");
         assert_eq!(fmt_opt_secs(None), "n/a");

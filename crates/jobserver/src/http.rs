@@ -1,0 +1,204 @@
+//! Minimal HTTP/1.1 framing over `std::net` sockets.
+//!
+//! Exactly the subset the job protocol needs: request line + headers +
+//! `Content-Length` bodies, one request per connection (`Connection: close`
+//! semantics on both sides). No chunked transfer, no keep-alive, no TLS —
+//! the daemon binds localhost and the client opens one short-lived
+//! connection per command.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request body (a scenario spec is a few KB; this bounds a
+/// misbehaving client).
+pub const MAX_BODY: usize = 1 << 20;
+
+/// Socket read/write timeout: a stalled peer must not wedge the daemon's
+/// accept loop (requests are served inline).
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The HTTP method, upper-cased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request path, e.g. `/jobs/3/cancel` (query strings unused).
+    pub path: String,
+    /// The request body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+/// Read one request off a stream. `Err` means a malformed or oversized
+/// request (the caller answers 400 and closes).
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return Err(bad("malformed request line")),
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("request body is not UTF-8"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Write a response and flush. The body's content type is the caller's
+/// business (`application/json` for protocol replies, `text/plain` for
+/// downloaded result files).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A client-side response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// 2xx?
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Perform one request against `addr` (e.g. `127.0.0.1:7171`) and read the
+/// response to EOF (the server closes after each response).
+pub fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\
+         connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    let body = String::from_utf8(body).map_err(|_| bad("response body is not UTF-8"))?;
+    Ok(Response { status, body })
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// One real round trip over a loopback socket: framing on both sides.
+    #[test]
+    fn request_and_response_round_trip_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/jobs");
+            assert_eq!(req.body, "{\"name\":\"fig3\"}");
+            write_response(&mut stream, 200, "OK", "application/json", b"{\"id\":1}").unwrap();
+        });
+        let resp = request(&addr, "POST", "/jobs", Some("{\"name\":\"fig3\"}")).unwrap();
+        assert!(resp.is_ok());
+        assert_eq!(resp.body, "{\"id\":1}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn get_without_body_has_zero_length() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "GET");
+            assert!(req.body.is_empty());
+            write_response(&mut stream, 404, "Not Found", "text/plain", b"nope").unwrap();
+        });
+        let resp = request(&addr, "GET", "/jobs/99", None).unwrap();
+        assert_eq!(resp.status, 404);
+        assert!(!resp.is_ok());
+        assert_eq!(resp.body, "nope");
+        server.join().unwrap();
+    }
+}

@@ -369,6 +369,84 @@ impl RunStore {
     }
 }
 
+/// Exclusive-writer guard for a whole store root.
+///
+/// The batch driver and the job server may point at the same `runstore/`
+/// root; two *processes* interleaving journal appends in one spec directory
+/// would still each be crash-safe (the `.run` files are content-addressed
+/// and atomically renamed) but would muddle the journal's completion order
+/// and double-compute replicates. The daemon therefore takes a `lock` file
+/// at the store root for its lifetime. Locking is advisory and PID-based:
+/// the file holds the owner's PID, and a lock whose owner is no longer
+/// alive (judged via `/proc/<pid>`; on platforms without procfs any
+/// leftover lock is treated as stale) is silently reclaimed, so a
+/// SIGKILLed daemon never wedges the store.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+impl StoreLock {
+    /// Acquire the lock file at `root/lock`, creating `root` if needed.
+    /// Fails with [`io::ErrorKind::WouldBlock`] when a live process holds it.
+    pub fn acquire(root: &Path) -> io::Result<Self> {
+        fs::create_dir_all(root)?;
+        let path = root.join("lock");
+        for attempt in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    writeln!(f, "{}", std::process::id())?;
+                    f.sync_all()?;
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists && attempt == 0 => {
+                    let owner = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match owner {
+                        Some(pid) if pid != std::process::id() && pid_alive(pid) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::WouldBlock,
+                                format!(
+                                    "store root {} is locked by live pid {pid}",
+                                    root.display()
+                                ),
+                            ));
+                        }
+                        // Stale (dead owner, our own pid after an exec, or
+                        // unparseable): reclaim and retry the create once.
+                        _ => fs::remove_file(&path)?,
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("second create_new attempt returns from the match")
+    }
+
+    /// The lock file's path (diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        fs::remove_file(&self.path).ok();
+    }
+}
+
+/// Best-effort liveness probe for a PID. Procfs-based: on platforms without
+/// `/proc` every held lock reads as stale, which errs on the side of
+/// availability for this advisory lock.
+fn pid_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
 /// Adapter exposing a [`RunStore`] as the harness's `ReplicateCache`:
 /// loads rebuild the `RunSummary` from the stored trace (every summary
 /// field is trace-derived, so the round-trip is exact); stores persist the
@@ -416,6 +494,21 @@ impl CacheStats {
             self.misses + self.corrupt_degraded,
             self.corrupt_degraded
         )
+    }
+
+    /// Fold another run's counters into this one. The job server accumulates
+    /// per-job stats into a daemon-lifetime total this way, so cross-job
+    /// dedup (job B hitting replicates job A stored) is visible in one place.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.corrupt_degraded += other.corrupt_degraded;
+    }
+
+    /// Whether every replicate was served from the store (a fully deduped
+    /// re-run: zero recomputes).
+    pub fn all_hits(&self) -> bool {
+        self.misses == 0 && self.corrupt_degraded == 0 && self.hits > 0
     }
 }
 
@@ -525,6 +618,54 @@ mod tests {
         let root = std::env::temp_dir().join(format!("runstore_test_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&root);
         root
+    }
+
+    #[test]
+    fn cache_stats_merge_and_all_hits() {
+        let mut total = CacheStats::default();
+        assert!(!total.all_hits(), "empty stats are not a deduped rerun");
+        total.merge(&CacheStats {
+            hits: 3,
+            misses: 0,
+            corrupt_degraded: 0,
+        });
+        assert!(total.all_hits());
+        total.merge(&CacheStats {
+            hits: 1,
+            misses: 2,
+            corrupt_degraded: 1,
+        });
+        assert_eq!(
+            total,
+            CacheStats {
+                hits: 4,
+                misses: 2,
+                corrupt_degraded: 1,
+            }
+        );
+        assert!(!total.all_hits());
+        assert!(total.summary().contains("4 hit(s), 3 recomputed"));
+    }
+
+    #[test]
+    fn store_lock_excludes_live_owners_and_reclaims_stale_ones() {
+        let root = tmp_root("lock");
+        let lock = StoreLock::acquire(&root).unwrap();
+        assert!(lock.path().exists());
+        // A second acquire in the same process sees our own (live) pid but
+        // treats a self-owned lock as stale — re-acquiring after a crash of
+        // a previous incarnation that recycled our pid must not deadlock.
+        // A *different* live pid, however, is refused.
+        fs::write(root.join("lock"), "1\n").unwrap(); // pid 1: init, always alive
+        let err = StoreLock::acquire(&root).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        // A dead owner is reclaimed silently.
+        fs::write(root.join("lock"), "4294000000\n").unwrap();
+        let relock = StoreLock::acquire(&root).unwrap();
+        drop(relock);
+        assert!(!root.join("lock").exists(), "drop removes the lock file");
+        drop(lock);
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   (stdout, CSVs and the run store stay byte-identical — CI diffs them).
 //! * `--progress` — force the stderr progress reporter on even when stderr
 //!   is not a TTY.
+//! * `--store-root DIR` — relocate the run store away from `runstore/` (the
+//!   job server shares one root across jobs this way).
+//! * `--results-dir DIR` — relocate CSV output away from `results/`.
 //! * `--list-components` — print the registry catalogue and exit.
 //!
 //! Scale comes from `AIRFEDGA_SCALE` (`full` / `quick`), exactly as for the
@@ -25,12 +28,16 @@
 //! finished but lost replicates for good (the failure report goes to
 //! stderr), 2 on usage/parse errors.
 
+use scenario::run::{EXIT_CLEAN, EXIT_FAILURES, EXIT_USAGE};
 use scenario::run_scenario_str;
 use scenario::Registry;
 
 const USAGE: &str = "usage: airfedga-run <scenario.toml> [--seeds N] [--system-seeds] \
                      [--resume | --fresh] [--telemetry DIR] [--progress]\n\
-                     \u{20}      airfedga-run --list-components";
+                     \u{20}                   [--store-root DIR] [--results-dir DIR]\n\
+                     \u{20}      airfedga-run --list-components\n\
+                     exit status: 0 clean run; 1 grid finished with unrecovered replicate \
+                     failures; 2 usage, read or spec errors";
 
 /// Extract the scenario path, rejecting unknown flags and extra operands —
 /// a typo'd flag (`--system-seed`, `--seed 3`) must fail loudly, not
@@ -45,16 +52,16 @@ fn scenario_path(args: &[String]) -> Result<String, String> {
                     return Err("--seeds requires a value (e.g. --seeds 3)".to_string());
                 }
             }
-            "--telemetry" => {
+            "--telemetry" | "--store-root" | "--results-dir" => {
                 if it.next().is_none() {
-                    return Err(
-                        "--telemetry requires a directory (e.g. --telemetry out/)".to_string()
-                    );
+                    return Err(format!("{a} requires a directory (e.g. {a} out/)"));
                 }
             }
             "--system-seeds" | "--resume" | "--fresh" | "--progress" => {}
             _ if a.starts_with("--seeds=") => {}
             _ if a.starts_with("--telemetry=") => {}
+            _ if a.starts_with("--store-root=") => {}
+            _ if a.starts_with("--results-dir=") => {}
             _ if a.starts_with('-') => {
                 return Err(format!("unknown flag `{a}`"));
             }
@@ -85,14 +92,14 @@ fn main() {
         Ok(path) => path,
         Err(e) => {
             eprintln!("airfedga-run: {e}\n{USAGE}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     };
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(e) => {
             eprintln!("airfedga-run: cannot read {path}: {e}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     };
     match run_scenario_str(&text) {
@@ -113,12 +120,13 @@ fn main() {
             }
             if !report.is_clean() {
                 eprintln!("airfedga-run: {path}: grid finished with unrecovered failures");
-                std::process::exit(1);
+                std::process::exit(EXIT_FAILURES);
             }
+            std::process::exit(EXIT_CLEAN);
         }
         Err(e) => {
             eprintln!("airfedga-run: {path}: {e}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     }
 }
@@ -161,6 +169,21 @@ mod tests {
             scenario_path(&args(&["--telemetry=out/tel", "s.toml"])).unwrap(),
             "s.toml"
         );
+        assert_eq!(
+            scenario_path(&args(&[
+                "s.toml",
+                "--store-root",
+                "sr/",
+                "--results-dir",
+                "rd/"
+            ]))
+            .unwrap(),
+            "s.toml"
+        );
+        assert_eq!(
+            scenario_path(&args(&["--store-root=sr", "--results-dir=rd", "s.toml"])).unwrap(),
+            "s.toml"
+        );
     }
 
     #[test]
@@ -175,6 +198,12 @@ mod tests {
             .unwrap_err()
             .contains("requires a value"));
         assert!(scenario_path(&args(&["s.toml", "--telemetry"]))
+            .unwrap_err()
+            .contains("requires a directory"));
+        assert!(scenario_path(&args(&["s.toml", "--store-root"]))
+            .unwrap_err()
+            .contains("requires a directory"));
+        assert!(scenario_path(&args(&["s.toml", "--results-dir"]))
             .unwrap_err()
             .contains("requires a directory"));
         assert!(scenario_path(&args(&["s.toml", "--telemetries", "out/"]))

@@ -1,0 +1,50 @@
+//! Figure 9 — aggregation energy consumed to reach a target accuracy, for
+//! the three AirComp mechanisms, on CNN/MNIST-like (left) and
+//! CNN/CIFAR-10-like (right).
+//!
+//! Shape to reproduce: Air-FedAvg spends the least energy (fewest
+//! aggregations per worker), Air-FedGA slightly more (asynchronous groups
+//! aggregate more often), Dynamic the most (its data-agnostic worker
+//! selection needs more rounds to converge).
+//!
+//! A thin wrapper over the committed `scenarios/fig9.toml` and
+//! `scenarios/fig9_cifar.toml` specs (embedded at compile time), run in
+//! sequence through the same driver as `airfedga-run` — output is
+//! byte-identical to the pre-scenario hardcoded binary, one panel per spec.
+//! `--seeds N` replicates every mechanism over N run seeds; the
+//! energy-to-accuracy tables then report mean±std [reached/total] per cell.
+//! The default (1) is byte-identical to the historical single-seed output.
+
+const SPECS: [(&str, &str); 2] = [
+    (
+        "scenarios/fig9.toml",
+        include_str!("../../../../scenarios/fig9.toml"),
+    ),
+    (
+        "scenarios/fig9_cifar.toml",
+        include_str!("../../../../scenarios/fig9_cifar.toml"),
+    ),
+];
+
+fn main() {
+    let mut lost_replicates = false;
+    for (path, spec) in SPECS {
+        match scenario::run_scenario_str(spec) {
+            Ok(report) => {
+                let failures = report.failure_report();
+                if !failures.is_empty() {
+                    eprint!("{failures}");
+                }
+                lost_replicates |= !report.is_clean();
+            }
+            Err(e) => {
+                eprintln!("fig9_energy: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if lost_replicates {
+        eprintln!("fig9_energy: finished with unrecovered failures");
+        std::process::exit(1);
+    }
+}

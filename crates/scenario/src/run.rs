@@ -30,7 +30,9 @@
 
 use crate::spec::{expand_grid, GridCell, ScenarioKind, ScenarioSpec};
 use crate::ScenarioError;
-use experiments::figures::{print_speedups, run_time_accuracy_figure_durable, FigureParams};
+use experiments::figures::{
+    print_speedups, run_time_accuracy_figure_durable, FigureOutcome, FigureParams,
+};
 use experiments::harness::{
     run_replicated_isolated_plan, CellFailure, NoCache, ReplicateCache, RunPolicy, RunSummary,
 };
@@ -48,6 +50,16 @@ use std::path::{Path, PathBuf};
 /// `diff -r results` never see it, and `rm -rf results` between runs leaves
 /// completed replicates intact.
 pub const STORE_ROOT: &str = "runstore";
+
+/// Exit code of a clean run: every replicate finished (recovered retries
+/// included).
+pub const EXIT_CLEAN: i32 = 0;
+/// Exit code when the grid finished but lost replicates for good
+/// (unrecovered failures in the [`ExecutionReport`]).
+pub const EXIT_FAILURES: i32 = 1;
+/// Exit code for usage and spec errors: bad flags, an unreadable file, a
+/// parse/validation failure — nothing ran.
+pub const EXIT_USAGE: i32 = 2;
 
 /// How `--resume` / `--fresh` map onto the run store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,6 +90,13 @@ pub struct CliOverrides {
     /// `--progress`, forcing the stderr progress reporter on even when
     /// stderr is not a TTY (equivalent to `[telemetry] progress = "force"`).
     pub progress_force: bool,
+    /// `--store-root <dir>`, relocating the run store away from the default
+    /// [`STORE_ROOT`]. The job server points every job at one shared root so
+    /// identical replicates dedup across jobs.
+    pub store_root: Option<PathBuf>,
+    /// `--results-dir <dir>`, relocating CSV output away from the default
+    /// `results/`. The job server gives each job its own results store.
+    pub results_dir: Option<PathBuf>,
 }
 
 impl CliOverrides {
@@ -96,26 +115,34 @@ impl CliOverrides {
             (false, true) => StoreMode::Fresh,
             (false, false) => StoreMode::Disabled,
         };
-        let mut telemetry = None;
-        for (i, a) in args.iter().enumerate() {
-            if a == "--telemetry" {
-                match args.get(i + 1) {
-                    Some(dir) if !dir.starts_with('-') => telemetry = Some(dir.clone()),
-                    _ => return Err("--telemetry requires a directory argument".to_string()),
+        // The directory-valued flags share one shape: `--flag DIR` or
+        // `--flag=DIR`, rejecting a missing or flag-like value.
+        let dir_flag = |flag: &str| -> Result<Option<String>, String> {
+            let mut value = None;
+            let eq = format!("{flag}=");
+            for (i, a) in args.iter().enumerate() {
+                if a == flag {
+                    match args.get(i + 1) {
+                        Some(dir) if !dir.starts_with('-') => value = Some(dir.clone()),
+                        _ => return Err(format!("{flag} requires a directory argument")),
+                    }
+                } else if let Some(dir) = a.strip_prefix(&eq) {
+                    if dir.is_empty() {
+                        return Err(format!("{flag} requires a directory argument"));
+                    }
+                    value = Some(dir.to_string());
                 }
-            } else if let Some(dir) = a.strip_prefix("--telemetry=") {
-                if dir.is_empty() {
-                    return Err("--telemetry requires a directory argument".to_string());
-                }
-                telemetry = Some(dir.to_string());
             }
-        }
+            Ok(value)
+        };
         Ok(Self {
             seeds: seeds_flag_opt(),
             system_seeds: system_seeds_flag(),
             store,
-            telemetry,
+            telemetry: dir_flag("--telemetry")?,
             progress_force: args.iter().any(|a| a == "--progress"),
+            store_root: dir_flag("--store-root")?.map(PathBuf::from),
+            results_dir: dir_flag("--results-dir")?.map(PathBuf::from),
         })
     }
 }
@@ -209,26 +236,55 @@ fn run_policy(spec: &ScenarioSpec) -> RunPolicy {
     }
 }
 
-/// Open (or reset) the run store for this resolved scenario, or `None` when
-/// the store is disabled.
+/// Open (or reset) the run store for this resolved scenario under `root`
+/// (`None` root = the default [`STORE_ROOT`]), or `None` when the store is
+/// disabled.
 fn open_store(
     spec: &ScenarioSpec,
     scale: Scale,
     params: &FigureParams,
     mode: StoreMode,
+    root: Option<&Path>,
 ) -> Result<Option<RunStore>, ScenarioError> {
     let canonical = canonical_spec_form(spec, scale, params);
+    let root = root.unwrap_or(Path::new(STORE_ROOT));
     let opened = match mode {
         StoreMode::Disabled => return Ok(None),
-        StoreMode::Resume => RunStore::open(Path::new(STORE_ROOT), &canonical),
-        StoreMode::Fresh => RunStore::fresh(Path::new(STORE_ROOT), &canonical),
+        StoreMode::Resume => RunStore::open(root, &canonical),
+        StoreMode::Fresh => RunStore::fresh(root, &canonical),
     };
     opened.map(Some).map_err(|e| {
         ScenarioError::new(format!(
-            "[{}] cannot open the run store under `{STORE_ROOT}/`: {e}",
-            spec.name
+            "[{}] cannot open the run store under `{}/`: {e}",
+            spec.name,
+            root.display()
         ))
     })
+}
+
+/// RAII redirect of `experiments::report`'s results directory; restores the
+/// default on drop (including the error paths out of [`execute`]).
+struct ResultsDirGuard {
+    redirected: bool,
+}
+
+impl ResultsDirGuard {
+    fn install(dir: Option<&Path>) -> Self {
+        if let Some(dir) = dir {
+            experiments::report::set_results_dir(Some(dir.to_path_buf()));
+        }
+        Self {
+            redirected: dir.is_some(),
+        }
+    }
+}
+
+impl Drop for ResultsDirGuard {
+    fn drop(&mut self) {
+        if self.redirected {
+            experiments::report::set_results_dir(None);
+        }
+    }
 }
 
 /// Execute a validated scenario at the given scale with the given CLI
@@ -252,8 +308,9 @@ pub fn execute(
         )));
     }
     let policy = run_policy(spec);
-    let store = open_store(spec, scale, &params, cli.store)?;
+    let store = open_store(spec, scale, &params, cli.store, cli.store_root.as_deref())?;
     let store_cache = store.as_ref().map(StoreCache::new);
+    let _results_guard = ResultsDirGuard::install(cli.results_dir.as_deref());
     let cache: &dyn ReplicateCache = match &store_cache {
         Some(c) => c,
         None => &NoCache,
@@ -296,6 +353,9 @@ pub fn execute(
             );
             if let Some(target) = spec.speedup_target {
                 print_speedups(&run.survivors(), target);
+            }
+            if !spec.energy_targets.is_empty() {
+                print_energy_table(spec, &params, &run.survivors());
             }
             ExecutionReport {
                 failures: run.failures,
@@ -354,6 +414,38 @@ pub fn execute(
         telemetry::disable();
     }
     Ok(report)
+}
+
+/// The Fig. 9 energy table: aggregation energy (J) each surviving mechanism
+/// spent to reach the spec's `run.energy_targets`. Byte-identical to the
+/// historical `fig9_energy` binary's table (single-seed cells print the
+/// canonical first-seed value, replicated cells mean±std [reached/total]).
+fn print_energy_table(spec: &ScenarioSpec, params: &FigureParams, outcome: &FigureOutcome) {
+    let num_seeds = params.num_seeds;
+    let title = match &spec.energy_label {
+        Some(label) => format!("Aggregation energy (J) to reach target accuracy — {label}"),
+        None => "Aggregation energy (J) to reach target accuracy".to_string(),
+    };
+    let header: Vec<String> = std::iter::once("mechanism".to_string())
+        .chain((1..=spec.energy_targets.len()).map(|i| format!("E@t{i}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&title, &header_refs);
+    for c in &outcome.cells {
+        let mut row = vec![c.mechanism.clone()];
+        for &t in &spec.energy_targets {
+            row.push(if num_seeds == 1 {
+                c.first()
+                    .energy_to_accuracy(t)
+                    .map(|e| format!("{e:.0}"))
+                    .unwrap_or_else(|| "n/a".to_string())
+            } else {
+                c.energy_to_accuracy_stats(t).fmt_with_count(0, num_seeds)
+            });
+        }
+        table.add_row(row);
+    }
+    println!("{}", table.render());
 }
 
 /// Parse and execute a scenario document with the binary defaults: scale
@@ -806,7 +898,7 @@ xi = [0.3, 1.0]
 
         // 2 cells × 2 seeds, all persisted by the fresh run.
         let params = figure_params(&spec, Scale::Quick, &fresh);
-        let store = open_store(&spec, Scale::Quick, &params, StoreMode::Resume)
+        let store = open_store(&spec, Scale::Quick, &params, StoreMode::Resume, None)
             .unwrap()
             .unwrap();
         assert_eq!(store.completed(), 4);

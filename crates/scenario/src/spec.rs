@@ -87,6 +87,12 @@ pub struct ScenarioSpec {
     /// Print the Air-FedGA speed-up lines at this target
     /// (`[run] speedup_target`; `time_accuracy` only).
     pub speedup_target: Option<f64>,
+    /// Print the aggregation-energy table at these accuracy targets
+    /// (`[run] energy_targets`; `time_accuracy` only — the Fig. 9 shape).
+    pub energy_targets: Vec<f64>,
+    /// Workload label in the energy table's title (`[run] energy_label`;
+    /// requires `energy_targets`).
+    pub energy_label: Option<String>,
     /// Explicit round budget (`[run] rounds`; default scale-dependent).
     pub rounds: Option<usize>,
     /// Explicit evaluation cadence (`[run] eval_every`).
@@ -609,6 +615,27 @@ impl ScenarioSpec {
             None => Vec::new(),
         };
         let speedup_target = run.f64_opt("speedup_target")?;
+        let energy_targets = match run.f64_array_opt("energy_targets")? {
+            Some((targets, line)) => {
+                for &t in &targets {
+                    if !(t > 0.0 && t <= 1.0) {
+                        return Err(ScenarioError::at(
+                            line,
+                            format!("energy target {t} must lie in (0, 1]"),
+                        ));
+                    }
+                }
+                if targets.is_empty() {
+                    return Err(ScenarioError::at(
+                        line,
+                        "run.energy_targets must not be empty".into(),
+                    ));
+                }
+                targets
+            }
+            None => Vec::new(),
+        };
+        let energy_label = run.str_opt("energy_label")?.map(|(s, _)| s);
         let rounds = run.positive_usize_opt("rounds")?;
         let eval_every = run.positive_usize_opt("eval_every")?;
         let max_virtual_time = run.f64_opt("max_virtual_time")?;
@@ -714,6 +741,8 @@ impl ScenarioSpec {
             mechanisms,
             accuracy_targets,
             speedup_target,
+            energy_targets,
+            energy_label,
             rounds,
             eval_every,
             max_virtual_time,
@@ -743,6 +772,18 @@ impl ScenarioSpec {
             return Err(ScenarioError::new(
                 "run.seeds must be at least 1".to_string(),
             ));
+        }
+        if !self.energy_targets.is_empty() && self.kind != ScenarioKind::TimeAccuracy {
+            return Err(ScenarioError::new(format!(
+                "[{}] run.energy_targets applies only to time_accuracy scenarios",
+                self.name
+            )));
+        }
+        if self.energy_label.is_some() && self.energy_targets.is_empty() {
+            return Err(ScenarioError::new(format!(
+                "[{}] run.energy_label requires run.energy_targets",
+                self.name
+            )));
         }
         match self.kind {
             ScenarioKind::TimeAccuracy => {

@@ -8,6 +8,8 @@ use scenario::{ScenarioKind, ScenarioSpec};
 
 const FIG3: &str = include_str!("../../../scenarios/fig3.toml");
 const FIG8: &str = include_str!("../../../scenarios/fig8.toml");
+const FIG9: &str = include_str!("../../../scenarios/fig9.toml");
+const FIG9_CIFAR: &str = include_str!("../../../scenarios/fig9_cifar.toml");
 const FIG10: &str = include_str!("../../../scenarios/fig10.toml");
 const JOINT: &str = include_str!("../../../scenarios/joint_xi_workers.toml");
 const DIRICHLET: &str = include_str!("../../../scenarios/dirichlet_cifar_all.toml");
@@ -20,6 +22,8 @@ fn every_committed_scenario_parses_and_validates() {
     for (name, src) in [
         ("fig3", FIG3),
         ("fig8", FIG8),
+        ("fig9", FIG9),
+        ("fig9_cifar", FIG9_CIFAR),
         ("fig10", FIG10),
         ("joint_xi_workers", JOINT),
         ("dirichlet_cifar_all", DIRICHLET),
@@ -61,6 +65,43 @@ fn fig3_spec_matches_the_historical_binary_shape() {
     // The workload preset is the paper's headline config.
     assert_eq!(spec.base_config.num_workers, 100);
     assert_eq!(spec.base_config.dataset.name, "mnist-like");
+}
+
+#[test]
+fn fig9_specs_match_the_historical_binary_panels() {
+    let mnist = ScenarioSpec::parse(FIG9).unwrap();
+    let cifar = ScenarioSpec::parse(FIG9_CIFAR).unwrap();
+    for spec in [&mnist, &cifar] {
+        assert_eq!(spec.kind, ScenarioKind::TimeAccuracy);
+        // The historical trio, and the energy table over the same targets
+        // the figure itself tracks.
+        assert_eq!(
+            spec.mechanisms,
+            vec![
+                MechanismChoice::Dynamic,
+                MechanismChoice::AirFedAvg,
+                MechanismChoice::AirFedGa
+            ]
+        );
+        assert_eq!(spec.energy_targets, spec.accuracy_targets);
+        assert!(spec.speedup_target.is_none());
+        assert_eq!(spec.num_seeds, 1);
+    }
+    // The historical panel labels, titles and CSV prefixes, verbatim.
+    assert_eq!(mnist.accuracy_targets, vec![0.8, 0.85, 0.9]);
+    assert_eq!(mnist.energy_label.as_deref(), Some("CNN on MNIST-like"));
+    assert_eq!(mnist.csv_prefix, "fig9_cnn_on_mnist_like");
+    assert_eq!(
+        mnist.title,
+        "Fig. 9 (CNN on MNIST-like): energy to reach target accuracy"
+    );
+    assert_eq!(cifar.accuracy_targets, vec![0.45, 0.5, 0.55]);
+    assert_eq!(cifar.energy_label.as_deref(), Some("CNN on CIFAR-10-like"));
+    assert_eq!(cifar.csv_prefix, "fig9_cnn_on_cifar_10_like");
+    assert_eq!(
+        cifar.title,
+        "Fig. 9 (CNN on CIFAR-10-like): energy to reach target accuracy"
+    );
 }
 
 #[test]

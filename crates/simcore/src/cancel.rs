@@ -49,6 +49,30 @@ thread_local! {
     static ACTIVE: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
 }
 
+/// Process-wide cancellation flag, checked by [`checkpoint`] alongside the
+/// thread-local token. The job server flips it to abort *every* in-flight
+/// cell of the current grid (cancel-while-running) without having to reach
+/// each pool worker's token; batch drivers never set it, so the cost is one
+/// relaxed load per round boundary.
+static CANCEL_ALL: AtomicBool = AtomicBool::new(false);
+
+/// Request cancellation of every running cell in the process. Cells observe
+/// the flag at their next round boundary and panic like a watchdog trip.
+pub fn cancel_all() {
+    CANCEL_ALL.store(true, Ordering::SeqCst);
+}
+
+/// Clear the process-wide cancellation flag (call before starting new work
+/// after a [`cancel_all`]).
+pub fn reset_cancel_all() {
+    CANCEL_ALL.store(false, Ordering::SeqCst);
+}
+
+/// Whether a process-wide cancellation is pending.
+pub fn cancel_all_requested() -> bool {
+    CANCEL_ALL.load(Ordering::SeqCst)
+}
+
 /// Guard returned by [`install`]; restores the previously installed token
 /// (usually `None`) when dropped, so nested installs behave like a stack.
 #[derive(Debug)]
@@ -85,6 +109,9 @@ pub fn checkpoint(round: usize) {
     // Every engine polls here once per attempted round, which makes this the
     // single place to count rounds for telemetry's logical plane.
     telemetry::metrics::ENGINE_ROUNDS.add(1);
+    if CANCEL_ALL.load(Ordering::Relaxed) {
+        panic!("cancelled: the job was cancelled at the round-{round} boundary");
+    }
     let cancelled = ACTIVE.with(|a| {
         a.borrow()
             .as_ref()

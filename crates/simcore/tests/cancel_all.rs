@@ -1,0 +1,30 @@
+//! Process-wide cancellation (`cancel::cancel_all`) lives in its own test
+//! binary: the flag is global, so exercising it next to the engine tests in
+//! the lib test binary could panic an unrelated round loop mid-flight.
+
+use simcore::cancel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn cancel_all_trips_every_checkpoint_until_reset() {
+    assert!(!cancel::cancel_all_requested());
+    cancel::checkpoint(1); // clean flag: no panic
+
+    cancel::cancel_all();
+    assert!(cancel::cancel_all_requested());
+
+    // Trips without any thread-local token installed...
+    let err = catch_unwind(AssertUnwindSafe(|| cancel::checkpoint(5))).unwrap_err();
+    let msg = err.downcast_ref::<String>().unwrap();
+    assert!(msg.contains("cancelled"), "message was: {msg}");
+    assert!(msg.contains("round-5"), "message was: {msg}");
+
+    // ...and on other threads too (the whole pool drains).
+    let handle =
+        std::thread::spawn(|| catch_unwind(AssertUnwindSafe(|| cancel::checkpoint(9))).is_err());
+    assert!(handle.join().unwrap());
+
+    cancel::reset_cancel_all();
+    assert!(!cancel::cancel_all_requested());
+    cancel::checkpoint(2); // back to a no-op
+}

@@ -16,8 +16,8 @@
 //! global enable.
 
 use std::io::IsTerminal;
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// When the reporter is allowed to write to stderr.
@@ -50,6 +50,52 @@ pub fn mode() -> ProgressMode {
         2 => ProgressMode::Off,
         _ => ProgressMode::Auto,
     }
+}
+
+/// A point-in-time copy of a reporter's counters, handed to the installed
+/// [`sink`](set_sink) on every update. Consumers (the job server) read it to
+/// stream per-job progress without scraping stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// The reporter's label (e.g. `"cells"`).
+    pub label: &'static str,
+    /// Total number of cells in the grid.
+    pub total: usize,
+    /// Cells computed to completion (including permanent failures).
+    pub done: usize,
+    /// Cells satisfied from the runstore cache.
+    pub cached: usize,
+    /// Cells that failed for good.
+    pub failed: usize,
+    /// Retry attempts issued so far.
+    pub retried: usize,
+    /// True on the final [`Reporter::finish`] notification.
+    pub finished: bool,
+}
+
+type Sink = Box<dyn Fn(&ProgressSnapshot) + Send + Sync>;
+
+/// Fast-path flag: reporters skip the sink lock entirely while no sink is
+/// installed, so batch runs pay one relaxed load per update.
+static SINK_SET: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Sink>> = RwLock::new(None);
+
+/// Install a process-wide progress subscriber. Every [`Reporter`] update
+/// (cached / done / retried / finish) calls it with a fresh
+/// [`ProgressSnapshot`], independent of the stderr rendering mode — rendering
+/// policy only governs the stderr line, never the sink.
+pub fn set_sink<F>(f: F)
+where
+    F: Fn(&ProgressSnapshot) + Send + Sync + 'static,
+{
+    *SINK.write().unwrap_or_else(|e| e.into_inner()) = Some(Box::new(f));
+    SINK_SET.store(true, Ordering::Release);
+}
+
+/// Remove the installed progress subscriber, if any.
+pub fn clear_sink() {
+    SINK_SET.store(false, Ordering::Release);
+    *SINK.write().unwrap_or_else(|e| e.into_inner()) = None;
 }
 
 /// Minimum interval between renders (the final render always happens).
@@ -105,6 +151,7 @@ impl Reporter {
     /// A cell was satisfied from the runstore cache.
     pub fn cached(&self) {
         self.cached.fetch_add(1, Ordering::Relaxed);
+        self.notify_sink(false);
         self.maybe_render(false);
     }
 
@@ -114,23 +161,54 @@ impl Reporter {
         if !ok {
             self.failed.fetch_add(1, Ordering::Relaxed);
         }
+        self.notify_sink(false);
         self.maybe_render(false);
     }
 
     /// A failed cell is being retried.
     pub fn retried(&self) {
         self.retried.fetch_add(1, Ordering::Relaxed);
+        self.notify_sink(false);
         self.maybe_render(false);
     }
 
     /// Render the final state; on a TTY this terminates the rewrite line.
     pub fn finish(&self) {
+        self.notify_sink(true);
         if !self.active {
             return;
         }
         self.maybe_render(true);
         if self.tty && self.state.lock().is_ok_and(|s| s.rendered) {
             eprintln!();
+        }
+    }
+
+    /// Snapshot of the current counters (what the sink sees).
+    pub fn snapshot(&self, finished: bool) -> ProgressSnapshot {
+        ProgressSnapshot {
+            label: self.label,
+            total: self.total,
+            done: self.done.load(Ordering::Relaxed),
+            cached: self.cached.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            finished,
+        }
+    }
+
+    /// Forward the current counters to the installed sink, if any. Runs even
+    /// when stderr rendering is off: subscription and rendering are
+    /// independent channels.
+    fn notify_sink(&self, finished: bool) {
+        if !SINK_SET.load(Ordering::Acquire) {
+            return;
+        }
+        let snapshot = self.snapshot(finished);
+        if let Ok(sink) = SINK.read() {
+            if let Some(sink) = sink.as_ref() {
+                sink(&snapshot);
+            }
         }
     }
 
@@ -222,6 +300,51 @@ mod tests {
         let line = r.line(Instant::now());
         assert!(line.starts_with("cells: 3/8 done, 2 cached, 1 failed, 1 retried"));
         assert!(line.contains("eta"));
+    }
+
+    #[test]
+    fn sink_sees_every_update_even_when_rendering_is_off() {
+        let _guard = crate::test_flag_guard();
+        let prev = mode();
+        set_mode(ProgressMode::Off);
+        let seen: std::sync::Arc<Mutex<Vec<ProgressSnapshot>>> =
+            std::sync::Arc::new(Mutex::new(Vec::new()));
+        {
+            let seen = seen.clone();
+            set_sink(move |s| {
+                if s.label == "sink_probe" {
+                    seen.lock().unwrap().push(*s);
+                }
+            });
+        }
+        let r = Reporter::new("sink_probe", 4);
+        assert!(!r.active, "Off mode must not render");
+        r.cached();
+        r.done(true);
+        r.done(false);
+        r.retried();
+        r.finish();
+        clear_sink();
+        {
+            let seen = seen.lock().unwrap();
+            assert_eq!(seen.len(), 5);
+            let last = seen.last().unwrap();
+            assert!(last.finished);
+            assert_eq!(
+                (
+                    last.total,
+                    last.done,
+                    last.cached,
+                    last.failed,
+                    last.retried
+                ),
+                (4, 2, 1, 1, 1)
+            );
+        }
+        // Updates after clear_sink are dropped.
+        r.cached();
+        assert_eq!(seen.lock().unwrap().len(), 5);
+        set_mode(prev);
     }
 
     #[test]
